@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one table or figure of the paper via
+:mod:`repro.experiments`, times the run with pytest-benchmark, prints
+the regenerated rows (run pytest with ``-s`` to see them), and asserts
+the paper's qualitative *shape* — who wins, by roughly what factor,
+where crossovers fall.  Absolute numbers come from our simulators and
+are not expected to match the authors' physical testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a report so it survives pytest's capture (shown with -s)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,61 @@
+"""Ablations on the baseline methods' parameters.
+
+- Fixed-th threshold sweep (the paper tried 10-100 ms and picked 10 ms);
+- Acceleration factor sweep (the paper borrows 100x from prior work).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Acceleration, FixedThreshold
+from repro.experiments import build_pair_for, format_table, new_node
+from repro.metrics import ks_distance
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return build_pair_for("MSNFS", n_requests=4000)
+
+
+def test_ablation_fixed_threshold_sweep(benchmark, pair, show):
+    thresholds = (1_000.0, 10_000.0, 50_000.0, 100_000.0)
+
+    def run():
+        return {
+            th: ks_distance(FixedThreshold(th).reconstruct(pair.old, new_node()), pair.new)
+            for th in thresholds
+        }
+
+    ks = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        [{"threshold_ms": th / 1000, "ks_to_target": round(v, 4)} for th, v in ks.items()],
+        "Ablation: Fixed-th threshold sweep (paper picked 10 ms)",
+    ))
+    # The paper's 10 ms choice must beat the overly-loose 100 ms one
+    # (100 ms swallows real idles into the assumed service time).
+    assert ks[10_000.0] <= ks[100_000.0]
+    # All thresholds yield valid reconstructions.
+    assert all(0.0 <= v <= 1.0 for v in ks.values())
+
+
+def test_ablation_acceleration_factor_sweep(benchmark, pair, show):
+    factors = (10.0, 100.0, 1000.0)
+
+    def run():
+        return {
+            f: ks_distance(Acceleration(f).reconstruct(pair.old, new_node()), pair.new)
+            for f in factors
+        }
+
+    ks = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        [{"factor": f, "ks_to_target": round(v, 4)} for f, v in ks.items()],
+        "Ablation: acceleration factor sweep (paper uses 100x)",
+    ))
+    # No static factor gets close to the target distribution — the
+    # point of the paper's critique: acceleration rescales idle and
+    # service time indiscriminately, so even the best factor stays far
+    # from the target, and the published 100x is no better.
+    assert min(ks.values()) > 0.15
+    assert ks[100.0] > 0.25

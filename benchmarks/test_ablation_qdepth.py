@@ -1,0 +1,46 @@
+"""Ablation: queue-depth replay (extension beyond the paper).
+
+The paper's emulation is synchronous with post-processed asynchrony.
+An alternative is windowed replay at queue depth > 1.  This bench
+quantifies (a) how much device-level overlap deepens throughput on the
+flash array, and (b) that synchronous replay + revival remains the
+better *timing* reconstruction — motivation for the paper's design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import build_pair_for, format_table, new_node
+from repro.replay import replay_queue_depth
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return build_pair_for("DAP", n_requests=3000)
+
+
+def test_ablation_queue_depth(benchmark, pair, show):
+    depths = (1, 2, 8, 32)
+
+    def run():
+        out = {}
+        for depth in depths:
+            result = replay_queue_depth(pair.old, new_node(), queue_depth=depth)
+            out[depth] = result.trace.duration
+        return out
+
+    durations = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        [
+            {"queue_depth": d, "replay_duration_ms": round(v / 1000, 1)}
+            for d, v in durations.items()
+        ],
+        "Ablation: back-to-back replay duration vs queue depth (DAP)",
+    ))
+    # Deeper queues exploit the array's parallelism: monotone speedup.
+    assert durations[2] <= durations[1]
+    assert durations[8] <= durations[2]
+    assert durations[32] <= durations[8]
+    # And the effect is substantial on a 36-die-per-SSD array.
+    assert durations[32] < durations[1] * 0.8

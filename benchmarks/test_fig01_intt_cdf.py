@@ -1,0 +1,31 @@
+"""Figure 1: CDFs of inter-arrival times — OLD, NEW, Revision, Acceleration.
+
+Paper's claims: Acceleration's curve is a pure left-shift of OLD that
+undercuts the real NEW timing and loses ~98% of user idle time;
+Revision tracks NEW's latency scale but still loses most idle periods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig1_intt_cdf, format_cdf_series, format_table
+
+
+def test_fig01_intt_cdf(benchmark, show):
+    result = benchmark.pedantic(
+        fig1_intt_cdf, kwargs={"n_requests": 5000}, rounds=1, iterations=1
+    )
+    show(format_table(result.rows(), "Figure 1: inter-arrival time summary"))
+    show(format_cdf_series(result.series))
+
+    # NEW is much faster than OLD (flash vs disk).
+    assert result.median_us["NEW"] < result.median_us["OLD"] / 3
+    # Acceleration is a blind 100x left-shift of OLD.
+    assert result.median_us["Acceleration"] * 100 == pytest.approx(result.median_us["OLD"])
+    # Both naive methods land below the genuine NEW timing at the median.
+    assert result.median_us["Acceleration"] < result.median_us["NEW"]
+    assert result.median_us["Revision"] < result.median_us["NEW"]
+    # Both lose the overwhelming majority of user idle time.
+    assert result.idle_loss_vs_new["Acceleration"] > 0.9
+    assert result.idle_loss_vs_new["Revision"] > 0.6

@@ -1,0 +1,35 @@
+"""Figure 3: longer/equal/shorter breakdown of reconstructed T_intt.
+
+Paper's claims: ~98.6% of Acceleration's gaps are shorter than the real
+NEW gaps; Revision is mostly shorter too (77.8% average) with a small
+'equal' slice (17.8%) and a few longer gaps from replaying async
+requests synchronously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig3_breakdown, format_table
+from repro.experiments.figures import FIG3_WORKLOADS
+
+
+def test_fig03_breakdown(benchmark, show):
+    result = benchmark.pedantic(
+        fig3_breakdown, kwargs={"n_requests": 3000}, rounds=1, iterations=1
+    )
+    show(format_table(result.rows(), "Figure 3: T_intt breakdown vs real system"))
+
+    for name in FIG3_WORKLOADS:
+        acc = result.acceleration[name]
+        rev = result.revision[name]
+        # Acceleration: the overwhelming majority of gaps too short.
+        assert acc.shorter > 0.7, name
+        # Revision: mostly shorter as well — idles and async overlap lost.
+        assert rev.shorter > 0.5, name
+        # Revision keeps a small but non-trivial equal band on average.
+        assert rev.shorter > rev.longer, name
+    mean_acc_shorter = float(np.mean([b.shorter for b in result.acceleration.values()]))
+    mean_rev_shorter = float(np.mean([b.shorter for b in result.revision.values()]))
+    assert mean_acc_shorter > 0.75
+    assert mean_rev_shorter > 0.6

@@ -1,0 +1,25 @@
+"""Figure 5: the three CDF shape classes of inter-arrival distributions.
+
+The paper motivates its steepness machinery by showing CDFs come in a
+single-steep-rise form (5a), a smooth "chunky middle" (5b), and a
+multi-maxima form (5c) where naive differential analysis fails.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_cdf_types, format_table
+
+
+def test_fig05_cdf_types(benchmark, show):
+    result = benchmark.pedantic(
+        fig5_cdf_types, kwargs={"n_requests": 3000}, rounds=1, iterations=1
+    )
+    show(format_table(result.rows(), "Figure 5: CDF shape classes"))
+
+    # The constructed archetypes land in their intended classes.
+    assert result.synthetic["unimodal"] == "global-maxima"
+    assert result.synthetic["diffuse"] == "chunky-middle"
+    assert result.synthetic["bimodal"] == "multi-maxima"
+    # Real workloads are classified into the taxonomy (any class).
+    valid = {"global-maxima", "chunky-middle", "multi-maxima"}
+    assert set(result.workloads.values()) <= valid

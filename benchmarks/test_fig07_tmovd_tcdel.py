@@ -1,0 +1,34 @@
+"""Figure 7: T_movd calibration (7a) and T_cdel profile (7b) on FIU workloads.
+
+Paper's claims: replaying ten FIU workloads on an enterprise disk gives
+moving-delay CDFs with consistent gradient-change locations across
+workloads (licensing one representative T_movd); channel delay differs
+somewhat between reads and writes but by <8%/<6% between random and
+sequential access.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_tmovd_tcdel, format_table
+
+
+def test_fig07_tmovd_tcdel(benchmark, show):
+    result = benchmark.pedantic(
+        fig7_tmovd_tcdel, kwargs={"n_requests": 2000}, rounds=1, iterations=1
+    )
+    show(format_table(result.rows(), "Figure 7: T_movd representatives and T_cdel profile"))
+    show(
+        f"overall T_movd representative: {result.tmovd_overall_us / 1000:.2f} ms"
+        f"  (cross-workload spread {result.tmovd_spread:.2f}x)"
+    )
+
+    # Mechanical scale: milliseconds.
+    assert 1_000 < result.tmovd_overall_us < 30_000
+    # The Figure 7a observation: workloads agree on the moving delay.
+    assert result.tmovd_spread < 6.0
+    # Figure 7b: random vs sequential channel delay nearly identical.
+    for name, profile in result.tcdel.items():
+        if "SeqR" in profile and "RandR" in profile:
+            assert abs(profile["SeqR"] - profile["RandR"]) / profile["SeqR"] < 0.25, name
+        if "SeqW" in profile and "RandW" in profile:
+            assert abs(profile["SeqW"] - profile["RandW"]) / profile["SeqW"] < 0.25, name

@@ -1,0 +1,24 @@
+"""Figure 15: distribution detail for CFS (MSPS) and ikki (FIU).
+
+Paper's claims: the reconstructed distribution leans toward shorter
+times — for CFS the median drops from 17 ms to 0.6 ms; for ikki the
+value that bounded 1% of old gaps bounds ~90% of reconstructed ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig15_distribution, format_table
+
+
+def test_fig15_cfs_ikki(benchmark, show):
+    result = benchmark.pedantic(
+        fig15_distribution, kwargs={"n_requests": 5000}, rounds=1, iterations=1
+    )
+    show(format_table(result.rows(), "Figure 15: median T_intt, target vs TraceTracker"))
+
+    for workload in ("CFS", "ikki"):
+        medians = result.median_us[workload]
+        # The reconstruction leans toward the short side...
+        assert medians["TraceTracker"] < medians["Target"], workload
+        # ...by a large factor (flash vs disk service times).
+        assert medians["Target"] / medians["TraceTracker"] > 3, workload

@@ -1,0 +1,39 @@
+"""Figure 17: breakdown of T_idle by bucket — frequency and period.
+
+Paper's claims: MSPS workloads idle *often* (≈70% of gaps) but briefly,
+while FIU/MSRC idle in a minority of gaps (31%/26%); yet in *period*
+terms idle dominates everywhere (87-99.8% of total inter-arrival time),
+and in FIU/MSRC most idle time sits in the >100 ms bucket.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig17_idle_breakdown, format_table
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_fig17_idle_breakdown(benchmark, show):
+    result = benchmark.pedantic(
+        fig17_idle_breakdown,
+        kwargs={"workloads": ALL_WORKLOADS, "n_requests": 2000},
+        rounds=1,
+        iterations=1,
+    )
+    show(format_table(result.rows(), "Figure 17: T_idle breakdown"))
+    freq = result.category_idle_frequency()
+    period = result.category_idle_period()
+    show(format_table([
+        {"category": c, "idle_freq%": round(freq[c] * 100, 1), "idle_period%": round(period[c] * 100, 1)}
+        for c in freq
+    ]))
+
+    # MSPS idles most often by count.
+    assert freq["MSPS"] > freq["FIU"]
+    assert freq["MSPS"] > freq["MSRC"]
+    # Idle dominates duration in every family (paper: 87-99.8%).
+    for category in ("MSPS", "FIU", "MSRC"):
+        assert period[category] > 0.8, category
+    # FIU/MSRC: the long bucket holds most of the idle *period*.
+    for name in ("ikki", "wdev", "rsrch"):
+        b = result.breakdowns[name]
+        assert b.period[">100ms"] > 0.5, name

@@ -1,0 +1,45 @@
+"""Table I: characteristics of the reconstructed workload catalog.
+
+Regenerates the per-workload rows (trace counts, average request sizes,
+payload totals) and checks them against the published table: 577 traces
+overall, and the average data sizes the paper lists per workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table, table1_characteristics
+from repro.workloads import TABLE1_N_TRACES
+
+#: Published "Avg data size (KB)" per workload (Table I).
+PAPER_AVG_KB = {
+    "24HR": 8.27, "24HRS": 28.79, "BS": 20.73, "CFS": 9.71, "DADS": 28.66,
+    "DAP": 74.42, "DDR": 24.78, "MSNFS": 10.71,
+    "ikki": 4.64, "madmax": 4.11, "online": 4.00, "topgun": 3.87,
+    "webmail": 4.00, "casa": 4.04, "webresearch": 4.00, "webusers": 4.20,
+    "mail+online": 4.0, "homes": 5.23,
+    "mds": 33.0, "prn": 15.4, "proj": 29.6, "prxy": 8.6, "rsrch": 8.4,
+    "src1": 35.7, "src2": 40.9, "stg": 26.2, "web": 7.0, "wdev": 34.0,
+    "usr": 38.65, "hm": 15.16, "ts": 9.0,
+}
+
+
+def test_table1_characteristics(benchmark, show):
+    result = benchmark.pedantic(
+        table1_characteristics,
+        kwargs={"traces_per_workload": 2, "n_requests": 1500},
+        rounds=1,
+        iterations=1,
+    )
+    show(format_table(result.rows(), "Table I: workload characteristics (regenerated)"))
+
+    # The catalog carries the full published trace inventory.
+    assert result.total_traces() == 577
+    assert result.paper_n_traces == TABLE1_N_TRACES
+    # Every regenerated average request size tracks the published one.
+    for name, row in result.rows_by_workload.items():
+        assert row.avg_data_size_kb == pytest.approx(PAPER_AVG_KB[name], rel=0.35), name
+    # Families are complete.
+    categories = {row.category for row in result.rows_by_workload.values()}
+    assert categories == {"MSPS", "FIU", "MSRC"}

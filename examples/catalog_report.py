@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Regenerate the workload catalog and its Table I style report.
+
+Walks the 31-workload catalog (FIU, MSPS, MSRC), collects one trace per
+workload on the OLD node, prints the characteristics table, and
+round-trips one trace through every supported on-disk format.
+
+Run:  python examples/catalog_report.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import collect_trace, generate_intents, get_spec, load_trace, workload_names
+from repro.experiments import format_table, old_node
+from repro.trace import dump_trace, trace_statistics
+from repro.workloads import TABLE1_N_TRACES
+
+
+def main() -> None:
+    rows = []
+    sample_trace = None
+    for name in workload_names():
+        spec = get_spec(name).scaled(2_000)
+        trace = collect_trace(generate_intents(spec), old_node())
+        stats = trace_statistics(trace)
+        rows.append(
+            {
+                "workload": name,
+                "category": spec.category,
+                "paper_traces": TABLE1_N_TRACES[name],
+                "avg_kb": round(stats.mean_request_kb, 2),
+                "read%": round(stats.read_fraction * 100, 1),
+                "seq%": round(stats.sequential_fraction * 100, 1),
+                "iops": round(stats.iops, 1),
+            }
+        )
+        if name == "MSNFS":
+            sample_trace = trace
+    print(format_table(rows, "Workload catalog (Table I shape, scaled)"))
+    total = sum(TABLE1_N_TRACES.values())
+    print(f"\npaper trace inventory: {total} block traces across {len(rows)} workloads")
+
+    # Round-trip the MSNFS trace through every writer/parser pair.
+    assert sample_trace is not None
+    with tempfile.TemporaryDirectory() as tmp:
+        for fmt in ("internal", "msrc", "blktrace"):
+            path = dump_trace(sample_trace, Path(tmp) / f"msnfs.{fmt}", fmt=fmt)
+            size_kb = path.stat().st_size / 1024
+            note = ""
+            if fmt in ("internal", "msrc"):
+                reloaded = load_trace(path, fmt=fmt)
+                note = f"-> reloaded {len(reloaded)} requests"
+            print(f"wrote {fmt:9s} {size_kb:8.1f} KB  {note}")
+
+
+if __name__ == "__main__":
+    main()

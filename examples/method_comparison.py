@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare the five reconstruction methods against ground truth.
+
+Reproduces the core of the paper's Figures 1/12 interactively: one
+workload, one OLD/NEW trace pair sharing the same user behaviour, five
+reconstruction methods scored on how closely their timing matches the
+trace genuinely collected on the target system.
+
+Run:  python examples/method_comparison.py [workload]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import standard_methods
+from repro.experiments import build_pair_for, format_table, format_us, new_node
+from repro.metrics import intt_breakdown, intt_gap_stats, ks_distance
+
+
+def main(workload: str = "MSNFS") -> None:
+    pair = build_pair_for(workload, n_requests=6_000)
+    print(f"workload {workload}: OLD on {pair.old.metadata['collected_on']}, "
+          f"ground truth on {pair.new.metadata['collected_on']}")
+    print(f"OLD duration {format_us(pair.old.duration)}, "
+          f"NEW duration {format_us(pair.new.duration)}")
+    print()
+
+    rows = []
+    for method in standard_methods():
+        reconstructed = method.reconstruct(pair.old, new_node())
+        breakdown = intt_breakdown(reconstructed, pair.new).as_percentages()
+        stats = intt_gap_stats(reconstructed, pair.new)
+        rows.append(
+            {
+                "method": method.name,
+                "ks_to_truth": round(ks_distance(reconstructed, pair.new), 4),
+                "mean_gap_err": format_us(stats["mean_us"]),
+                "equal%": breakdown["equal"],
+                "shorter%": breakdown["shorter"],
+                "longer%": breakdown["longer"],
+                "duration": format_us(reconstructed.duration),
+                "median_intt": format_us(float(np.median(reconstructed.inter_arrival_times()))),
+            }
+        )
+    rows.append(
+        {
+            "method": "(ground truth)",
+            "ks_to_truth": 0.0,
+            "mean_gap_err": "0 us",
+            "equal%": 100.0,
+            "shorter%": 0.0,
+            "longer%": 0.0,
+            "duration": format_us(pair.new.duration),
+            "median_intt": format_us(float(np.median(pair.new.inter_arrival_times()))),
+        }
+    )
+    print(format_table(rows, f"Reconstruction accuracy on {workload}"))
+    print()
+    print("Reading the table: Acceleration/Revision collapse the idle structure")
+    print("(tiny durations, large KS); TraceTracker preserves it and lands the")
+    print("closest to the trace actually collected on the flash node.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "MSNFS")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Verify the idle inference with known injected idle periods.
+
+Reproduces the Section V-A methodology end to end: idle periods of a
+known length are injected at known places into an old trace; the trace
+is reconstructed on the flash array; then the injected idles are looked
+for in the *reconstructed* trace and scored (Detection, Len(TP),
+Len(FP)).
+
+Run:  python examples/verify_inference.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from dataclasses import replace
+
+from repro import TraceTracker, collect_trace, generate_intents, get_spec, inject_idles
+from repro.experiments import format_table, format_us, new_node, old_node
+from repro.metrics import score_inference
+from repro.workloads import IdleProcess
+
+
+def verify(workload: str, period_us: float, known_tsdev: bool) -> dict[str, object]:
+    """One verification run: inject -> reconstruct -> score.
+
+    The workload's *natural* idles are switched off so the injected
+    idles are the only idle ground truth — otherwise every genuine user
+    idle the model (correctly) finds would be scored as a false
+    positive.  This mirrors the Figure 10/11 harness.
+    """
+    spec = replace(
+        get_spec(workload).scaled(5_000),
+        idle=IdleProcess(idle_fraction=0.0, cpu_burst_mean_us=3.0, cpu_burst_sigma=0.4),
+    )
+    old = collect_trace(generate_intents(spec), old_node(), record_device_times=known_tsdev)
+    injected, record = inject_idles(old, period_us=period_us, fraction=0.10, seed=11)
+
+    result = TraceTracker().reconstruct(injected, new_node())
+    new = result.trace
+    estimated_idle = np.clip(new.inter_arrival_times() - new.device_times()[:-1], 0.0, None)
+    score = score_inference(record, estimated_idle, min_idle_us=10.0)
+    return {
+        "workload": workload,
+        "tsdev": "measured" if known_tsdev else "inferred",
+        "injected": format_us(period_us),
+        "detection_tp%": round(score.detection_tp * 100, 1),
+        "len_tp%": round(score.len_tp * 100, 1),
+        "detection_fp%": round(score.detection_fp * 100, 1),
+        "len_fp": format_us(score.len_fp_us),
+    }
+
+
+def main() -> None:
+    rows = []
+    for period in (100.0, 1_000.0, 10_000.0, 100_000.0):
+        rows.append(verify("CFS", period, known_tsdev=True))
+        rows.append(verify("ikki", period, known_tsdev=False))
+    print(format_table(rows, "Idle-inference verification (paper Section V-A)"))
+    print()
+    print("Expected shapes: detection climbs with the injected period (small")
+    print("idles hide inside device latency); the measured-T_sdev path has")
+    print("near-zero false positives, the inferred path pays a mechanical-")
+    print("delay-sized Len(FP) — exactly the paper's Figure 10/11 story.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""TraceTracker core: pipeline, configuration, and baseline methods."""
+
+from .baselines import (
+    Acceleration,
+    Dynamic,
+    FixedThreshold,
+    ReconstructionMethod,
+    Revision,
+    TraceTrackerMethod,
+    standard_methods,
+)
+from .config import TraceTrackerConfig
+from .pipeline import ReconstructionResult, TraceTracker
+
+__all__ = [
+    "Acceleration",
+    "Dynamic",
+    "FixedThreshold",
+    "ReconstructionMethod",
+    "Revision",
+    "TraceTrackerMethod",
+    "standard_methods",
+    "TraceTrackerConfig",
+    "ReconstructionResult",
+    "TraceTracker",
+]

@@ -1,0 +1,48 @@
+"""Experiment harness: evaluation nodes, OLD/NEW pairs, per-figure runs."""
+
+from .figures import (
+    fig1_intt_cdf,
+    fig3_breakdown,
+    fig5_cdf_types,
+    fig7_tmovd_tcdel,
+    fig9_interpolation,
+    fig10_len_tp,
+    fig11_len_fp,
+    fig12_method_cdfs,
+    fig13_intt_gap,
+    fig14_target_diff,
+    fig15_distribution,
+    fig16_avg_idle,
+    fig17_idle_breakdown,
+    table1_characteristics,
+)
+from .nodes import calibration_disk, new_node, old_node
+from .pairs import TracePair, build_pair, build_pair_for
+from .reporting import cdf_series, format_cdf_series, format_table, format_us
+
+__all__ = [
+    "fig1_intt_cdf",
+    "fig3_breakdown",
+    "fig5_cdf_types",
+    "fig7_tmovd_tcdel",
+    "fig9_interpolation",
+    "fig10_len_tp",
+    "fig11_len_fp",
+    "fig12_method_cdfs",
+    "fig13_intt_gap",
+    "fig14_target_diff",
+    "fig15_distribution",
+    "fig16_avg_idle",
+    "fig17_idle_breakdown",
+    "table1_characteristics",
+    "calibration_disk",
+    "new_node",
+    "old_node",
+    "TracePair",
+    "build_pair",
+    "build_pair_for",
+    "cdf_series",
+    "format_cdf_series",
+    "format_table",
+    "format_us",
+]

@@ -1,0 +1,48 @@
+"""Evaluation-node factories: the paper's OLD and NEW systems.
+
+Section V's testbed is reproduced as two simulator configurations:
+
+- the **OLD node** — the decade-old HDD server the public traces were
+  collected on (7200 rpm disk behind SATA II);
+- the **NEW node** — the all-flash array target ("four NVM Express
+  SSDs ... 18 channels, 36 dies, and 72 planes" each, behind PCIe 3.0).
+
+Every experiment builds devices through these factories so the whole
+evaluation shares one hardware definition.
+"""
+
+from __future__ import annotations
+
+from ..storage import FlashArray, FlashGeometry, HDDGeometry, HDDModel
+
+__all__ = ["old_node", "new_node", "calibration_disk"]
+
+
+def old_node(seed: int = 42) -> HDDModel:
+    """The HDD-based collection node (OLD).
+
+    ``seed`` controls the rotational-phase RNG; experiments that build
+    several OLD traces use distinct seeds for independence.
+    """
+    return HDDModel(geometry=HDDGeometry(), seed=seed)
+
+
+def new_node() -> FlashArray:
+    """The all-flash target node (NEW): 4 SSDs, paper geometry."""
+    return FlashArray(n_ssds=4, stripe_kb=128, geometry=FlashGeometry())
+
+
+def calibration_disk(seed: int = 7) -> HDDModel:
+    """The enterprise disk used for the T_movd calibration (Figure 7).
+
+    The paper replays FIU workloads on a WD Blue class drive; a
+    slightly newer geometry (faster media rate) than the OLD node.
+    """
+    geometry = HDDGeometry(
+        rpm=7200.0,
+        avg_seek_ms=8.9,
+        track_to_track_ms=2.0,
+        sectors_per_track=2000,
+        heads=4,
+    )
+    return HDDModel(geometry=geometry, seed=seed)

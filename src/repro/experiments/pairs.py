@@ -1,0 +1,85 @@
+"""OLD/NEW trace-pair construction (the paper's verification method).
+
+"The same patterns are collected from both OLD and NEW for a fair
+comparison" — one intent stream, two devices.  The OLD trace is what a
+reconstruction method receives; the NEW trace is the ground truth it is
+scored against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.device import StorageDevice
+from ..trace.trace import BlockTrace
+from ..workloads.catalog import get_spec
+from ..workloads.generator import IntentStream, collect_trace, generate_intents
+from .nodes import new_node, old_node
+
+__all__ = ["TracePair", "build_pair", "build_pair_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class TracePair:
+    """An OLD/NEW trace pair sharing one intent stream.
+
+    Attributes
+    ----------
+    old:
+        The trace collected on the OLD (HDD) node — reconstruction input.
+    new:
+        The trace collected on the NEW (flash) node — ground truth.
+    intents:
+        The shared intent stream (carries true idles and sync flags).
+    """
+
+    old: BlockTrace
+    new: BlockTrace
+    intents: IntentStream
+
+    @property
+    def name(self) -> str:
+        """Workload name of the pair."""
+        return self.old.name
+
+
+def build_pair(
+    intents: IntentStream,
+    old_device: StorageDevice | None = None,
+    new_device: StorageDevice | None = None,
+    old_has_device_times: bool = True,
+) -> TracePair:
+    """Collect one intent stream on both nodes.
+
+    ``old_has_device_times`` selects the trace family style: ``True``
+    produces an MSPS/MSRC-style OLD trace (issue/completion stamps,
+    ":math:`T_{sdev}` known"); ``False`` an FIU-style one.  The NEW
+    trace always keeps device times — it is measurement ground truth,
+    not reconstruction input.
+    """
+    old_dev = old_device if old_device is not None else old_node()
+    new_dev = new_device if new_device is not None else new_node()
+    old = collect_trace(intents, old_dev, record_device_times=old_has_device_times)
+    new = collect_trace(intents, new_dev, record_device_times=True)
+    return TracePair(old=old, new=new, intents=intents)
+
+
+def build_pair_for(
+    workload: str,
+    n_requests: int | None = None,
+    old_has_device_times: bool | None = None,
+) -> TracePair:
+    """OLD/NEW pair for a named catalog workload.
+
+    ``old_has_device_times`` defaults to the workload family's actual
+    collection style: MSPS and MSRC traces carry device stamps, FIU
+    traces do not (Section V's "T_sdev known / unknown" split).
+    """
+    spec = get_spec(workload)
+    if n_requests is not None:
+        spec = spec.scaled(n_requests)
+    if old_has_device_times is None:
+        old_has_device_times = spec.category in ("MSPS", "MSRC")
+    return build_pair(
+        generate_intents(spec), old_has_device_times=old_has_device_times
+    )

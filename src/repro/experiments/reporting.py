@@ -1,0 +1,107 @@
+"""Plain-text reporting helpers shared by benches and examples.
+
+Every experiment returns structured rows; these helpers render them as
+aligned text tables (the closest a terminal gets to the paper's plots)
+and as CDF series sampled on log grids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from ..analysis.distribution import EmpiricalCDF, log_spaced_grid
+
+__all__ = ["format_table", "format_cdf_series", "cdf_series", "format_us"]
+
+
+def format_us(value_us: float) -> str:
+    """Human-readable rendering of a microsecond quantity."""
+    if value_us != value_us:  # NaN
+        return "n/a"
+    if abs(value_us) >= 1e6:
+        return f"{value_us / 1e6:.3g} s"
+    if abs(value_us) >= 1e3:
+        return f"{value_us / 1e3:.3g} ms"
+    return f"{value_us:.3g} us"
+
+
+def format_table(rows: Iterable[Mapping[str, object]], title: str = "") -> str:
+    """Render dict-rows as an aligned text table.
+
+    Column order follows the first row's key order; missing cells
+    render empty.  Numbers are shown with sensible precision.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in table)) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def cdf_series(
+    samples: np.ndarray, points_per_decade: int = 8
+) -> list[tuple[float, float]]:
+    """Sample an empirical CDF on a log grid → ``[(x_us, p), ...]``.
+
+    The compact series is what benches print so the paper's log-axis
+    CDF figures can be eyeballed (and regression-tested) as text.
+    """
+    positive = np.asarray(samples, dtype=np.float64)
+    positive = positive[positive > 0]
+    if positive.size == 0:
+        return []
+    cdf = EmpiricalCDF(positive)
+    grid = log_spaced_grid(cdf.min, cdf.max, points_per_decade)
+    # np.logspace rounds the endpoint down by an ulp or two; pin it so
+    # the series always closes at probability 1.
+    grid[-1] = cdf.max
+    return [(float(x), float(cdf(x))) for x in grid]
+
+
+def format_cdf_series(
+    series_by_label: Mapping[str, list[tuple[float, float]]],
+    quantiles: tuple[float, ...] = (0.1, 0.5, 0.9),
+) -> str:
+    """Summarise several CDF series as a quantile table.
+
+    Full series are unwieldy in text; the decile summary captures the
+    curve positions the paper's figures compare visually.
+    """
+    rows = []
+    for label, series in series_by_label.items():
+        if not series:
+            rows.append({"curve": label})
+            continue
+        xs = np.array([x for x, _ in series])
+        ps = np.array([p for _, p in series])
+        row: dict[str, object] = {"curve": label}
+        for q in quantiles:
+            idx = int(np.searchsorted(ps, q))
+            idx = min(idx, len(xs) - 1)
+            row[f"p{int(q * 100)}"] = format_us(float(xs[idx]))
+        rows.append(row)
+    return format_table(rows)

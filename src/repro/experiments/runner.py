@@ -1,0 +1,106 @@
+"""Run the complete evaluation and render one text report.
+
+``python -m repro.experiments.runner [--fast] [--out report.txt]``
+regenerates every table and figure in sequence and writes the combined
+report — the whole of Section V in one command.  The benchmark harness
+does the same per-artefact with timing and shape assertions; this
+runner exists for humans who want the full picture at once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+from typing import TextIO
+
+from . import figures
+from .reporting import format_cdf_series, format_table
+
+__all__ = ["run_all", "main"]
+
+#: (experiment id, title, callable returning a result with .rows()).
+_EXPERIMENTS: tuple[tuple[str, str, Callable[[int], object]], ...] = (
+    ("table1", "Table I: workload characteristics",
+     lambda n: figures.table1_characteristics(traces_per_workload=2, n_requests=max(n // 2, 500))),
+    ("fig1", "Figure 1: inter-arrival CDFs (OLD/NEW/Revision/Acceleration)",
+     lambda n: figures.fig1_intt_cdf(n_requests=n)),
+    ("fig3", "Figure 3: longer/equal/shorter breakdown",
+     lambda n: figures.fig3_breakdown(n_requests=n)),
+    ("fig5", "Figure 5: CDF shape classes",
+     lambda n: figures.fig5_cdf_types(n_requests=n)),
+    ("fig7", "Figure 7: T_movd calibration and T_cdel profile",
+     lambda n: figures.fig7_tmovd_tcdel(n_requests=max(n // 2, 500))),
+    ("fig9", "Figure 9: pchip vs spline interpolation",
+     lambda n: figures.fig9_interpolation()),
+    ("fig10", "Figure 10: Len(TP) / Detection vs injected idle",
+     lambda n: figures.fig10_len_tp(n_requests=n)),
+    ("fig11", "Figure 11: Len(FP) distributions",
+     lambda n: figures.fig11_len_fp(n_requests=n)),
+    ("fig12", "Figure 12: method CDFs on MSNFS",
+     lambda n: figures.fig12_method_cdfs(n_requests=n)),
+    ("fig13", "Figure 13: T_intt gap to TraceTracker",
+     lambda n: figures.fig13_intt_gap(n_requests=max(n // 2, 500))),
+    ("fig14", "Figure 14: target vs TraceTracker differences",
+     lambda n: figures.fig14_target_diff(n_requests=max(n // 2, 500))),
+    ("fig15", "Figure 15: CFS / ikki distribution detail",
+     lambda n: figures.fig15_distribution(n_requests=n)),
+    ("fig16", "Figure 16: average idle per workload",
+     lambda n: figures.fig16_avg_idle(n_requests=max(n // 2, 500))),
+    ("fig17", "Figure 17: idle breakdown",
+     lambda n: figures.fig17_idle_breakdown(n_requests=max(n // 2, 500))),
+)
+
+
+def run_all(n_requests: int = 4_000, out: TextIO = sys.stdout, only: set[str] | None = None) -> None:
+    """Run every experiment and stream the report to ``out``.
+
+    ``only`` restricts the run to a subset of experiment ids
+    (``{"fig12", "table1"}``...).
+    """
+    total_start = time.perf_counter()
+    for exp_id, title, run in _EXPERIMENTS:
+        if only is not None and exp_id not in only:
+            continue
+        start = time.perf_counter()
+        result = run(n_requests)
+        elapsed = time.perf_counter() - start
+        out.write("\n" + "=" * 72 + "\n")
+        out.write(f"{title}   [{exp_id}, {elapsed:.1f}s]\n")
+        out.write("=" * 72 + "\n")
+        rows = result.rows()  # type: ignore[attr-defined]
+        out.write(format_table(rows) + "\n")
+        series = getattr(result, "series", None)
+        if isinstance(series, dict) and series and isinstance(next(iter(series.values())), list):
+            out.write("\nCDF positions:\n")
+            out.write(format_cdf_series(series) + "\n")
+    out.write(f"\ntotal: {time.perf_counter() - total_start:.1f}s\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--requests", type=int, default=4_000, help="requests per generated trace (default 4000)"
+    )
+    parser.add_argument("--fast", action="store_true", help="quarter-size quick pass")
+    parser.add_argument("--out", type=str, default=None, help="write the report to a file")
+    parser.add_argument(
+        "--only", type=str, default=None,
+        help="comma-separated experiment ids (e.g. fig12,table1)",
+    )
+    args = parser.parse_args(argv)
+    n = max(500, args.requests // 4) if args.fast else args.requests
+    only = set(args.only.split(",")) if args.only else None
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            run_all(n_requests=n, out=handle, only=only)
+        print(f"report written to {args.out}")
+    else:
+        run_all(n_requests=n, only=only)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

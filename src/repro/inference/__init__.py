@@ -1,0 +1,36 @@
+"""Timing inference for I/O subsystems (the paper's software half)."""
+
+from .decompose import (
+    InferenceConfig,
+    InferenceReport,
+    OpDecomposition,
+    estimate_model,
+    representative_time,
+)
+from .diagnostics import explain_report, model_sanity
+from .grouping import GroupKey, group_intervals, random_groups, sequential_size_groups
+from .idle import IdleExtraction, extract_idle, extract_idle_with_model
+from .model import LatencyModel
+from .movd import MovdCalibration, calibrate_tmovd, measured_movd_samples, tcdel_profile
+
+__all__ = [
+    "InferenceConfig",
+    "InferenceReport",
+    "OpDecomposition",
+    "estimate_model",
+    "representative_time",
+    "explain_report",
+    "model_sanity",
+    "GroupKey",
+    "group_intervals",
+    "random_groups",
+    "sequential_size_groups",
+    "IdleExtraction",
+    "extract_idle",
+    "extract_idle_with_model",
+    "LatencyModel",
+    "MovdCalibration",
+    "calibrate_tmovd",
+    "measured_movd_samples",
+    "tcdel_profile",
+]

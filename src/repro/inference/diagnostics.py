@@ -1,0 +1,91 @@
+"""Human-readable rendering of inference outcomes.
+
+A reconstruction pipeline that silently produces coefficients is hard
+to trust; :func:`explain_report` turns an
+:class:`~repro.inference.decompose.InferenceReport` into the short
+prose+table summary a study would paste into a lab notebook, and
+:func:`model_sanity` flags estimates that look physically implausible
+before they silently skew a reconstruction.
+"""
+
+from __future__ import annotations
+
+from .decompose import InferenceReport, OpDecomposition
+from .model import LatencyModel
+
+__all__ = ["explain_report", "model_sanity"]
+
+
+def _describe_op(dec: OpDecomposition | None, label: str) -> list[str]:
+    if dec is None:
+        return [f"{label}: no usable request groups (coefficients borrowed)"]
+    lines = [
+        f"{label}: steepest groups at sizes {dec.size_steep1} and {dec.size_steep2} sectors"
+        f" (representatives {dec.t_rep_steep1_us:.1f} / {dec.t_rep_steep2_us:.1f} us)",
+        f"{label}: slope {dec.slope_us_per_sector:.3f} us/sector,"
+        f" channel delay {dec.tcdel_us:.1f} us",
+    ]
+    if dec.used_fallback:
+        lines.append(f"{label}: estimated via fallback path (see report notes)")
+    return lines
+
+
+def explain_report(report: InferenceReport) -> str:
+    """Render an inference report as readable text."""
+    model = report.model
+    lines = [
+        "Inferred latency model",
+        "----------------------",
+        f"beta (read slope) : {model.beta_us_per_sector:.3f} us/sector",
+        f"eta (write slope) : {model.eta_us_per_sector:.3f} us/sector",
+        f"T_cdel read/write : {model.tcdel_read_us:.1f} / {model.tcdel_write_us:.1f} us",
+        f"T_movd            : {model.tmovd_us / 1000:.2f} ms",
+        f"analysed groups   : {report.n_groups}",
+    ]
+    lines += _describe_op(report.read, "reads")
+    lines += _describe_op(report.write, "writes")
+    if report.tmovd_group is not None:
+        lines.append(
+            f"moving delay from group {report.tmovd_group}"
+            f" (representative {report.tmovd_representative_us / 1000:.2f} ms)"
+        )
+    else:
+        lines.append("moving delay: no random-access group was usable (0 assumed)")
+    if report.fallbacks:
+        lines.append("notes:")
+        lines += [f"  - {note}" for note in report.fallbacks]
+    return "\n".join(lines)
+
+
+def model_sanity(model: LatencyModel) -> list[str]:
+    """Physical-plausibility warnings for an inferred model.
+
+    Returns a list of human-readable warnings (empty when the model
+    looks like storage hardware that could exist).  Bounds are loose on
+    purpose — they catch estimation *failures*, not unusual devices.
+    """
+    warnings: list[str] = []
+    for label, slope in (
+        ("read slope (beta)", model.beta_us_per_sector),
+        ("write slope (eta)", model.eta_us_per_sector),
+    ):
+        # 0.001 us/sector is ~500 GB/s per stream; 1000 us/sector ~0.5 MB/s.
+        if slope < 1e-3:
+            warnings.append(f"{label} {slope:.2e} us/sector implies >500 GB/s streaming")
+        if slope > 1e3:
+            warnings.append(f"{label} {slope:.1f} us/sector implies <1 MB/s streaming")
+    ratio_hi = max(model.beta_us_per_sector, 1e-12) / max(model.eta_us_per_sector, 1e-12)
+    if ratio_hi > 50 or ratio_hi < 1 / 50:
+        warnings.append(
+            f"read/write slope ratio {ratio_hi:.1f} is extreme; one op type was"
+            " probably estimated from a polluted group"
+        )
+    for label, tcdel in (
+        ("read channel delay", model.tcdel_read_us),
+        ("write channel delay", model.tcdel_write_us),
+    ):
+        if tcdel > 5_000:
+            warnings.append(f"{label} {tcdel:.0f} us exceeds any host interface by 100x")
+    if model.tmovd_us > 1e6:
+        warnings.append(f"moving delay {model.tmovd_us / 1e6:.2f} s exceeds any seek+rotation")
+    return warnings

@@ -1,0 +1,108 @@
+"""Request grouping for the inference model (Section III).
+
+The decomposition analysis "groups all I/O instructions of the workload
+... into three different categories based on i) sequentiality, ii)
+operation type and iii) request size" and studies the inter-arrival
+time distribution of each group.
+
+The gap between request ``i`` and ``i + 1`` is attributed to request
+``i``: that gap contains request ``i``'s service time plus whatever
+idleness followed it, so the CDF of a group keyed by request ``i``'s
+shape is the distribution whose steep edge reveals that shape's
+:math:`T_{slat}`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.record import OpType
+from ..trace.trace import BlockTrace
+
+__all__ = ["GroupKey", "group_intervals", "sequential_size_groups", "random_groups"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class GroupKey:
+    """(sequentiality, operation, request size) — one analysis group."""
+
+    sequential: bool
+    op: OpType
+    size: int
+
+    def __str__(self) -> str:
+        pattern = "seq" if self.sequential else "rand"
+        return f"{pattern}-{self.op.to_char()}-{self.size}"
+
+
+def group_intervals(
+    trace: BlockTrace,
+    min_samples: int = 1,
+    gap_mask: np.ndarray | None = None,
+) -> dict[GroupKey, np.ndarray]:
+    """Partition a trace's inter-arrival gaps by the issuing request's group.
+
+    Returns a mapping from :class:`GroupKey` to the array of gaps that
+    followed requests of that group.  The final request contributes no
+    gap.  Groups with fewer than ``min_samples`` gaps are dropped.
+
+    ``gap_mask`` (length ``len(trace) - 1``) restricts the analysis to
+    selected gaps; the two-pass inference refinement uses it to exclude
+    gaps flagged as asynchronous submissions, whose short inter-arrival
+    times would otherwise masquerade as device-time modes.
+    """
+    if len(trace) < 2:
+        return {}
+    gaps = trace.inter_arrival_times()
+    seq = trace.sequential_mask()[:-1]
+    ops = trace.ops[:-1]
+    sizes = trace.sizes[:-1]
+    if gap_mask is not None:
+        if len(gap_mask) != len(gaps):
+            raise ValueError("gap_mask must have length len(trace) - 1")
+        gaps = gaps[gap_mask]
+        seq = seq[gap_mask]
+        ops = ops[gap_mask]
+        sizes = sizes[gap_mask]
+        if gaps.size == 0:
+            return {}
+    out: dict[GroupKey, np.ndarray] = {}
+    # Composite integer key for a single vectorised pass:
+    # size * 4 + op * 2 + sequential.
+    composite = sizes * 4 + ops.astype(np.int64) * 2 + seq.astype(np.int64)
+    order = np.argsort(composite, kind="stable")
+    sorted_keys = composite[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    for chunk in np.split(order, boundaries):
+        if len(chunk) < min_samples:
+            continue
+        first = chunk[0]
+        key = GroupKey(
+            sequential=bool(seq[first]),
+            op=OpType(int(ops[first])),
+            size=int(sizes[first]),
+        )
+        out[key] = gaps[chunk]
+    return out
+
+
+def sequential_size_groups(
+    groups: dict[GroupKey, np.ndarray], op: OpType
+) -> dict[int, np.ndarray]:
+    """Sequential-access groups of one operation type, keyed by size.
+
+    These are the per-size CDF families the coefficient estimation
+    scans for its two steepest curves.
+    """
+    return {key.size: gaps for key, gaps in groups.items() if key.sequential and key.op is op}
+
+
+def random_groups(groups: dict[GroupKey, np.ndarray]) -> dict[GroupKey, np.ndarray]:
+    """All random-access groups (both operation types).
+
+    The :math:`T_{movd}` estimation looks for the steepest CDF among
+    these.
+    """
+    return {key: gaps for key, gaps in groups.items() if not key.sequential}

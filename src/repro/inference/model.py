@@ -1,0 +1,108 @@
+"""The inferred latency model (Section III's inference model).
+
+The paper expresses device time as a linear law::
+
+    T_sdev(read,  size) = beta * size  [+ T_movd if random]
+    T_sdev(write, size) = eta  * size  [+ T_movd if random]
+
+with per-operation channel delays ``T_cdel^read`` / ``T_cdel^write``
+so that ``T_slat = T_cdel + T_sdev``.  A :class:`LatencyModel` holds
+those five coefficients and evaluates them, scalar or vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.record import OpType
+from ..trace.trace import BlockTrace
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Five-coefficient analytic latency model of an (old) storage system.
+
+    Attributes
+    ----------
+    beta_us_per_sector:
+        Read device-time slope (:math:`\\beta`), µs per sector.
+    eta_us_per_sector:
+        Write device-time slope (:math:`\\eta`), µs per sector.
+    tcdel_read_us, tcdel_write_us:
+        Channel delays per operation type.
+    tmovd_us:
+        Representative moving delay (seek + rotation) added to random
+        accesses.
+    """
+
+    beta_us_per_sector: float
+    eta_us_per_sector: float
+    tcdel_read_us: float
+    tcdel_write_us: float
+    tmovd_us: float
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("beta", self.beta_us_per_sector),
+            ("eta", self.eta_us_per_sector),
+            ("tcdel_read", self.tcdel_read_us),
+            ("tcdel_write", self.tcdel_write_us),
+            ("tmovd", self.tmovd_us),
+        ):
+            if not np.isfinite(value) or value < 0:
+                raise ValueError(f"{label} must be finite and non-negative, got {value}")
+
+    # ------------------------------------------------------------------
+    # scalar evaluation
+    # ------------------------------------------------------------------
+
+    def tsdev(self, op: OpType, size: int, sequential: bool) -> float:
+        """Device time for one request shape."""
+        slope = self.beta_us_per_sector if op is OpType.READ else self.eta_us_per_sector
+        base = slope * size
+        return base if sequential else base + self.tmovd_us
+
+    def tcdel(self, op: OpType) -> float:
+        """Channel delay for an operation type."""
+        return self.tcdel_read_us if op is OpType.READ else self.tcdel_write_us
+
+    def tslat(self, op: OpType, size: int, sequential: bool) -> float:
+        """I/O subsystem latency: channel delay + device time."""
+        return self.tcdel(op) + self.tsdev(op, size, sequential)
+
+    # ------------------------------------------------------------------
+    # vectorised evaluation
+    # ------------------------------------------------------------------
+
+    def tsdev_array(self, trace: BlockTrace) -> np.ndarray:
+        """Per-request :math:`T_{sdev}` for a whole trace."""
+        slopes = np.where(
+            trace.ops == int(OpType.READ), self.beta_us_per_sector, self.eta_us_per_sector
+        )
+        out = slopes * trace.sizes
+        out = out + np.where(trace.sequential_mask(), 0.0, self.tmovd_us)
+        return out
+
+    def tcdel_array(self, trace: BlockTrace) -> np.ndarray:
+        """Per-request :math:`T_{cdel}` for a whole trace."""
+        return np.where(
+            trace.ops == int(OpType.READ), self.tcdel_read_us, self.tcdel_write_us
+        ).astype(np.float64)
+
+    def tslat_array(self, trace: BlockTrace) -> np.ndarray:
+        """Per-request :math:`T_{slat}` for a whole trace."""
+        return self.tsdev_array(trace) + self.tcdel_array(trace)
+
+    def describe(self) -> dict[str, float]:
+        """Coefficient dictionary for reports and EXPERIMENTS.md tables."""
+        return {
+            "beta_us_per_sector": self.beta_us_per_sector,
+            "eta_us_per_sector": self.eta_us_per_sector,
+            "tcdel_read_us": self.tcdel_read_us,
+            "tcdel_write_us": self.tcdel_write_us,
+            "tmovd_us": self.tmovd_us,
+        }

@@ -1,0 +1,27 @@
+"""Evaluation metrics: verification, trace comparison, idle breakdowns."""
+
+from .breakdown import IDLE_BUCKETS, IdleBreakdown, average_idle_us, idle_breakdown
+from .comparison import (
+    InttBreakdown,
+    intt_breakdown,
+    intt_cdf,
+    intt_gap_stats,
+    ks_distance,
+    median_log_ratio,
+)
+from .verification import VerificationScore, score_inference
+
+__all__ = [
+    "IDLE_BUCKETS",
+    "IdleBreakdown",
+    "average_idle_us",
+    "idle_breakdown",
+    "InttBreakdown",
+    "intt_breakdown",
+    "intt_cdf",
+    "intt_gap_stats",
+    "ks_distance",
+    "median_log_ratio",
+    "VerificationScore",
+    "score_inference",
+]

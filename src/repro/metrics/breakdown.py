@@ -1,0 +1,89 @@
+"""Idle-time breakdowns (Figures 16 and 17).
+
+Figure 16 reports the average idle period per workload; Figure 17
+splits each workload's gaps into four groups — pure :math:`T_{slat}`
+(no idle), idle of 0-10 ms, 10-100 ms, and >100 ms — and reports each
+group's share of gap *frequency* (request counts) and *period* (summed
+inter-arrival duration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..inference.idle import IdleExtraction
+
+__all__ = ["IDLE_BUCKETS", "IdleBreakdown", "idle_breakdown", "average_idle_us"]
+
+#: (label, lower_us_exclusive, upper_us_inclusive) idle buckets of Figure 17.
+IDLE_BUCKETS: tuple[tuple[str, float, float], ...] = (
+    ("0-10ms", 0.0, 10_000.0),
+    ("10-100ms", 10_000.0, 100_000.0),
+    (">100ms", 100_000.0, float("inf")),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class IdleBreakdown:
+    """Frequency and period shares per Figure 17 group.
+
+    Both dictionaries are keyed ``"Tslat"``, ``"0-10ms"``,
+    ``"10-100ms"``, ``">100ms"`` and each sums to 1 (for non-empty
+    extractions).
+    """
+
+    frequency: dict[str, float]
+    period: dict[str, float]
+
+    def idle_frequency(self) -> float:
+        """Total fraction of gaps containing any idle."""
+        return 1.0 - self.frequency["Tslat"]
+
+    def idle_period(self) -> float:
+        """Total fraction of trace duration spent in idle-bearing gaps."""
+        return 1.0 - self.period["Tslat"]
+
+
+def idle_breakdown(extraction: IdleExtraction, min_idle_us: float = 0.0) -> IdleBreakdown:
+    """Bucket an idle extraction into the Figure 17 groups.
+
+    A gap belongs to ``Tslat`` when no idle above ``min_idle_us`` was
+    inferred in it; otherwise to the bucket containing its idle length.
+    The *period* share of a group is the summed inter-arrival time of
+    its gaps over the trace's total inter-arrival time — the paper
+    groups whole gaps, so a gap that is 99% idle contributes its full
+    duration to its idle bucket.
+
+    ``min_idle_us`` separates *user* idleness from the tens-of-µs
+    CPU-burst residue that every synchronous gap carries; the Figure
+    16/17 experiments use 100 µs.
+    """
+    n = len(extraction)
+    if n == 0:
+        raise ValueError("empty extraction")
+    if min_idle_us < 0:
+        raise ValueError("min_idle_us must be non-negative")
+    tidle = extraction.tidle_us
+    tintt = extraction.tintt_us
+    total_period = float(tintt.sum())
+    frequency: dict[str, float] = {}
+    period: dict[str, float] = {}
+    idle_mask = tidle > min_idle_us
+    slat_mask = ~idle_mask
+    frequency["Tslat"] = float(slat_mask.sum()) / n
+    period["Tslat"] = float(tintt[slat_mask].sum()) / total_period if total_period else 0.0
+    for label, lo, hi in IDLE_BUCKETS:
+        mask = (tidle > lo) & (tidle <= hi) & idle_mask
+        frequency[label] = float(mask.sum()) / n
+        period[label] = float(tintt[mask].sum()) / total_period if total_period else 0.0
+    return IdleBreakdown(frequency=frequency, period=period)
+
+
+def average_idle_us(extraction: IdleExtraction, min_idle_us: float = 0.0) -> float:
+    """Average idle period over idle-bearing gaps (Figure 16's metric).
+
+    ``min_idle_us`` filters the CPU-burst residue as in
+    :func:`idle_breakdown`.
+    """
+    idles = extraction.tidle_us[extraction.tidle_us > min_idle_us]
+    return float(idles.mean()) if idles.size else 0.0

@@ -1,0 +1,120 @@
+"""Verification metrics for idle inference (Section V-A).
+
+The paper scores the inference model against injected ground truth with
+four statistics over per-gap predictions:
+
+- ``Detection(TP) = #TP / #injected idles`` — how many injected idles
+  the model noticed;
+- ``Detection(FP) = #FP / #gaps`` — how often it hallucinated idle;
+- ``Len(TP) = estimated idle / injected idle`` over true positives —
+  how much of each detected idle's *length* was recovered;
+- ``Len(FP)`` — the estimated idle length at false-positive gaps (the
+  damage a misprediction does).
+
+:func:`score_inference` computes all four (plus the raw confusion
+counts) given an :class:`~repro.workloads.idle_injection.InjectionRecord`
+and the model's per-gap idle estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workloads.idle_injection import InjectionRecord
+
+__all__ = ["VerificationScore", "score_inference"]
+
+
+@dataclass(frozen=True, slots=True)
+class VerificationScore:
+    """Confusion statistics of one verification run.
+
+    ``len_tp`` is capped at 1 per gap before averaging so that
+    over-estimation cannot mask under-estimation elsewhere (the paper
+    reports accuracy percentages ≤ 100%).
+    """
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+    detection_tp: float
+    detection_fp: float
+    len_tp: float
+    len_fp_us: float
+    len_fp_samples: np.ndarray
+
+    @property
+    def n_gaps(self) -> int:
+        """Total scored gaps."""
+        return self.tp + self.fp + self.fn + self.tn
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict view for tabular output."""
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "fn": self.fn,
+            "tn": self.tn,
+            "detection_tp": round(self.detection_tp, 4),
+            "detection_fp": round(self.detection_fp, 4),
+            "len_tp": round(self.len_tp, 4),
+            "len_fp_us": round(self.len_fp_us, 3),
+        }
+
+
+def score_inference(
+    injection: InjectionRecord,
+    estimated_idle_us: np.ndarray,
+    min_idle_us: float = 0.0,
+) -> VerificationScore:
+    """Score per-gap idle estimates against injected ground truth.
+
+    Parameters
+    ----------
+    injection:
+        The ground-truth record from :func:`repro.workloads.inject_idles`.
+    estimated_idle_us:
+        The model's idle estimate per gap (length ``injection.n_gaps``).
+    min_idle_us:
+        Estimates at or below this are treated as "no idle predicted".
+
+    A gap is *positive* when the model predicts idle there, *true* when
+    prediction matches injection.  ``Len(TP)`` divides the estimate by
+    the injected period per true-positive gap (values above 1 are
+    clamped); ``Len(FP)`` averages the estimated idle at false-positive
+    gaps.
+    """
+    est = np.asarray(estimated_idle_us, dtype=np.float64)
+    if len(est) != injection.n_gaps:
+        raise ValueError(
+            f"estimates cover {len(est)} gaps, injection has {injection.n_gaps}"
+        )
+    truth = injection.mask()
+    predicted = est > min_idle_us
+    tp_mask = truth & predicted
+    fp_mask = ~truth & predicted
+    fn_mask = truth & ~predicted
+    tn_mask = ~truth & ~predicted
+    tp, fp = int(tp_mask.sum()), int(fp_mask.sum())
+    fn, tn = int(fn_mask.sum()), int(tn_mask.sum())
+    injected = injection.period_of_gap()
+    if tp:
+        ratios = est[tp_mask] / injected[tp_mask]
+        len_tp = float(np.clip(ratios, 0.0, 1.0).mean())
+    else:
+        len_tp = 0.0
+    fp_samples = est[fp_mask]
+    return VerificationScore(
+        tp=tp,
+        fp=fp,
+        fn=fn,
+        tn=tn,
+        detection_tp=tp / len(injection) if len(injection) else 0.0,
+        detection_fp=fp / injection.n_gaps if injection.n_gaps else 0.0,
+        len_tp=len_tp,
+        len_fp_us=float(fp_samples.mean()) if fp_samples.size else 0.0,
+        len_fp_samples=fp_samples,
+    )

@@ -1,0 +1,16 @@
+"""Hardware emulation substrate: replayer, collector, async post-processing."""
+
+from .collector import TraceCollector
+from .qdepth import replay_queue_depth
+from .postprocess import detect_async_indices, revive_async
+from .replayer import ReplayResult, replay_back_to_back, replay_with_idle
+
+__all__ = [
+    "TraceCollector",
+    "detect_async_indices",
+    "revive_async",
+    "ReplayResult",
+    "replay_back_to_back",
+    "replay_with_idle",
+    "replay_queue_depth",
+]

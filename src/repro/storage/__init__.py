@@ -1,0 +1,34 @@
+"""Storage hardware substrate: channels, HDD, flash SSD, all-flash array.
+
+The paper's hardware half replays traces on real devices; here the
+devices are simulators with the same observable surface (submit a block
+request, get ack and completion stamps back).
+"""
+
+from .array import FlashArray
+from .channel import PCIE3_X4, SATA_300, SATA_600, InterfaceChannel
+from .device import Completion, ConstantLatencyDevice, StorageDevice
+from .events import Event, EventQueue, Simulation
+from .flash import FlashGeometry, FlashSSD
+from .hdd import HDDGeometry, HDDModel
+from .raid import Raid0, Raid1
+
+__all__ = [
+    "FlashArray",
+    "PCIE3_X4",
+    "SATA_300",
+    "SATA_600",
+    "InterfaceChannel",
+    "Completion",
+    "ConstantLatencyDevice",
+    "StorageDevice",
+    "Event",
+    "EventQueue",
+    "Simulation",
+    "FlashGeometry",
+    "FlashSSD",
+    "HDDGeometry",
+    "HDDModel",
+    "Raid0",
+    "Raid1",
+]

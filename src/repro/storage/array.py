@@ -1,0 +1,101 @@
+"""All-flash array: the paper's "NEW" evaluation node.
+
+Section V builds the target system "by grouping four NVM Express SSDs"
+reachable over "four PCIe 3.0 slots".  The array stripes request
+extents across member SSDs at a fixed stripe width (RAID-0 style),
+submits the fragments concurrently — each SSD sits on its own PCIe
+link — and completes when the slowest fragment completes.
+
+The array itself is a :class:`StorageDevice`, so the replayer drives it
+exactly like a single disk; its ``channel`` models the host-side PCIe
+fan-out (commands to different SSDs overlap, so the array-level
+channel delay is the per-SSD delay, not the sum).
+"""
+
+from __future__ import annotations
+
+from ..trace.record import OpType
+from .channel import PCIE3_X4, InterfaceChannel
+from .device import StorageDevice
+from .flash import FlashGeometry, FlashSSD
+
+__all__ = ["FlashArray"]
+
+
+class FlashArray(StorageDevice):
+    """RAID-0 style group of :class:`FlashSSD` devices.
+
+    Parameters
+    ----------
+    n_ssds:
+        Member count (paper: 4).
+    stripe_kb:
+        Stripe unit; extents are chopped at stripe boundaries and each
+        stripe routed to ``(stripe_index mod n_ssds)``.
+    geometry:
+        Per-SSD flash geometry (shared by all members).
+    channel:
+        Host link model per slot; defaults to PCIe 3.0 x4.
+    """
+
+    def __init__(
+        self,
+        n_ssds: int = 4,
+        stripe_kb: int = 128,
+        geometry: FlashGeometry | None = None,
+        channel: InterfaceChannel = PCIE3_X4,
+    ) -> None:
+        if n_ssds <= 0:
+            raise ValueError("need at least one SSD")
+        if stripe_kb <= 0:
+            raise ValueError("stripe unit must be positive")
+        super().__init__(channel)
+        self.n_ssds = n_ssds
+        self.stripe_sectors = stripe_kb * 2  # 512-byte sectors per KB is 2
+        self.ssds = [FlashSSD(geometry=geometry, channel=channel) for _ in range(n_ssds)]
+
+    @property
+    def name(self) -> str:
+        return f"flash-array({self.n_ssds}x {self.ssds[0].name})"
+
+    def reset(self) -> None:
+        """Cold state for the array and every member SSD."""
+        super().reset()
+        for ssd in self.ssds:
+            ssd.reset()
+
+    # ------------------------------------------------------------------
+
+    def _fragments(self, lba: int, size: int) -> list[tuple[int, int, int]]:
+        """Split ``[lba, lba+size)`` at stripe boundaries.
+
+        Returns ``(ssd_index, local_lba, local_size)`` triples.  The
+        local LBA keeps the global address, which is harmless for a
+        simulator (each SSD's page mapping is positional) and keeps
+        sequential streams detectable per member.
+        """
+        out: list[tuple[int, int, int]] = []
+        remaining = size
+        cursor = lba
+        while remaining > 0:
+            stripe = cursor // self.stripe_sectors
+            within = cursor - stripe * self.stripe_sectors
+            chunk = min(remaining, self.stripe_sectors - within)
+            out.append((stripe % self.n_ssds, cursor, chunk))
+            cursor += chunk
+            remaining -= chunk
+        return out
+
+    def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
+        start = t_ready
+        finish = t_ready
+        for ssd_index, frag_lba, frag_size in self._fragments(lba, size):
+            __, frag_finish = self.ssds[ssd_index]._service(op, frag_lba, frag_size, t_ready)
+            finish = max(finish, frag_finish)
+        return start, finish
+
+    def _expected_service(self, op: OpType, size: int, sequential: bool) -> float:
+        """Nominal latency: the slowest fragment of an even striping."""
+        n_frags = min(self.n_ssds, max(1, (size + self.stripe_sectors - 1) // self.stripe_sectors))
+        per_ssd = -(-size // n_frags)  # ceiling division
+        return self.ssds[0]._expected_service(op, per_ssd, sequential)

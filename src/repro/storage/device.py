@@ -1,0 +1,169 @@
+"""Storage device abstraction shared by the HDD and flash models.
+
+A device accepts a request at a submit time and reports when the host
+interface is free again (``ack``) and when the data is actually on/off
+the medium (``finish``).  This two-stamp completion is what lets the
+replayer distinguish synchronous submissions (host blocks until
+``finish``) from asynchronous ones (host proceeds at ``ack``) — the
+distinction at the heart of the paper's Figure 2b timing diagram.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..trace.record import OpType
+from .channel import InterfaceChannel
+
+__all__ = ["Completion", "StorageDevice", "ConstantLatencyDevice"]
+
+
+@dataclass(frozen=True, slots=True)
+class Completion:
+    """Timing outcome of one submitted request (all times µs).
+
+    Attributes
+    ----------
+    submit:
+        When the host handed the request to the driver.
+    start:
+        When the device began servicing it (after any queueing).
+    ack:
+        When the host interface finished the command/data hand-off —
+        an asynchronous submitter is free to continue at this point
+        (:math:`submit + T_{cdel}` plus any host-side queue wait).
+    finish:
+        When the medium finished the operation — a synchronous
+        submitter resumes here.
+    """
+
+    submit: float
+    start: float
+    ack: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if not (self.submit <= self.start <= self.finish):
+            raise ValueError("completion stamps out of order (submit <= start <= finish)")
+        if self.ack < self.submit:
+            raise ValueError("ack precedes submit")
+
+    @property
+    def latency(self) -> float:
+        """End-to-end service latency ``finish - submit`` (:math:`T_{slat}` + queue wait)."""
+        return self.finish - self.submit
+
+    @property
+    def device_time(self) -> float:
+        """Medium service time ``finish - start`` (:math:`T_{sdev}`)."""
+        return self.finish - self.start
+
+    @property
+    def queue_wait(self) -> float:
+        """Time between channel hand-off and service start ``start - ack``.
+
+        Zero when the device was idle; positive when the request queued
+        behind earlier work.
+        """
+        return max(0.0, self.start - self.ack)
+
+
+class StorageDevice(abc.ABC):
+    """A storage target the replayer can submit block requests to.
+
+    Implementations are *stateful* simulators: submission order matters
+    (head position, busy channels, write-buffer occupancy).  Submit
+    times must be non-decreasing, matching how a trace replayer walks a
+    trace.
+    """
+
+    def __init__(self, channel: InterfaceChannel) -> None:
+        self.channel = channel
+        self._last_submit = float("-inf")
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable model name."""
+
+    @abc.abstractmethod
+    def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
+        """Device-specific service: returns ``(start, finish)``.
+
+        ``t_ready`` is when the command has fully crossed the channel
+        and is available to the medium.
+        """
+
+    def submit(self, op: OpType, lba: int, size: int, t: float) -> Completion:
+        """Submit one request at time ``t`` and return its timing.
+
+        The channel transfer happens first (the host is occupied for
+        :math:`T_{cdel}`), then the medium services the request,
+        possibly after queueing behind earlier requests.
+        """
+        if size <= 0:
+            raise ValueError("request size must be positive")
+        if lba < 0:
+            raise ValueError("lba must be non-negative")
+        if t < self._last_submit:
+            raise ValueError(f"submissions must be time-ordered: {t} < {self._last_submit}")
+        self._last_submit = t
+        t_cdel = self.channel.delay_us(op, size)
+        ack = t + t_cdel
+        start, finish = self._service(op, lba, size, ack)
+        return Completion(submit=t, start=start, ack=ack, finish=finish)
+
+    def reset(self) -> None:
+        """Return the device to its cold state (subclasses extend)."""
+        self._last_submit = float("-inf")
+
+    def service_time_us(self, op: OpType, size: int, sequential: bool) -> float:
+        """Stateless *expected* :math:`T_{sdev}` for a request shape.
+
+        Used by calibration and verification code that needs the
+        device's nominal latency without perturbing simulator state.
+        Subclasses override with their analytic model.
+        """
+        probe = self.__class__.__dict__.get("_expected_service")
+        if probe is None:
+            raise NotImplementedError
+        return probe(self, op, size, sequential)
+
+
+class ConstantLatencyDevice(StorageDevice):
+    """A device that serves every request in a fixed time.
+
+    Exists for tests and for isolating replayer logic from device
+    modelling: one request at a time, FIFO, no parallelism.
+    """
+
+    def __init__(
+        self,
+        channel: InterfaceChannel,
+        read_us: float = 100.0,
+        write_us: float = 100.0,
+    ) -> None:
+        super().__init__(channel)
+        if read_us < 0 or write_us < 0:
+            raise ValueError("latencies must be non-negative")
+        self.read_us = read_us
+        self.write_us = write_us
+        self._busy_until = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"const({self.read_us}/{self.write_us}us)"
+
+    def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
+        start = max(t_ready, self._busy_until)
+        finish = start + (self.read_us if op is OpType.READ else self.write_us)
+        self._busy_until = finish
+        return start, finish
+
+    def _expected_service(self, op: OpType, size: int, sequential: bool) -> float:
+        return self.read_us if op is OpType.READ else self.write_us
+
+    def reset(self) -> None:
+        super().reset()
+        self._busy_until = 0.0

@@ -1,0 +1,124 @@
+"""Minimal discrete-event simulation engine.
+
+The storage models in this package are mostly expressible as
+"busy-until" resource algebra, but queue-depth studies, the replayer's
+asynchronous completion tracking, and several tests want a real event
+loop.  This module provides a small, deterministic one: a time-ordered
+heap of callbacks with stable FIFO tie-breaking.
+
+Time is in microseconds, like everywhere else in the library.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventQueue", "Simulation"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then insertion sequence."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at ``time`` and return the handle."""
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event (None when empty)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulation:
+    """Event loop with a virtual clock.
+
+    >>> sim = Simulation()
+    >>> hits = []
+    >>> _ = sim.schedule_at(5.0, lambda: hits.append(sim.now))
+    >>> _ = sim.schedule_after(2.0, lambda: hits.append(sim.now))
+    >>> sim.run()
+    >>> hits
+    [2.0, 5.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now = 0.0
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < now {self.now}")
+        return self._queue.push(time, action)
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delay`` microseconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self._queue.push(self.now + delay, action)
+
+    def run(self, until: float | None = None) -> None:
+        """Drain events, optionally stopping once the clock passes ``until``.
+
+        With ``until`` given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier.
+        """
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or (until is not None and next_time > until):
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self.now = event.time
+            event.action()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def step(self) -> bool:
+        """Run a single event; return False when nothing is pending."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.now = event.time
+        event.action()
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)

@@ -1,0 +1,145 @@
+"""RAID layer over member devices.
+
+"In MSRC, all workloads contain specific device-level information such
+as the type of RAID" (Section V) — the Cambridge volumes sat on RAID
+groups, so a faithful OLD node for those traces is a disk array, not a
+single spindle.  Two classic levels are modelled:
+
+- :class:`Raid0` — striping; an extent is chopped at stripe boundaries
+  and fragments are serviced concurrently by their members;
+- :class:`Raid1` — mirroring; reads go to the member that can start
+  earliest, writes must land on every member.
+
+Both are :class:`~repro.storage.device.StorageDevice` implementations,
+so traces can be collected on them and reconstructions can target them
+like any other device.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..trace.record import OpType
+from .channel import InterfaceChannel
+from .device import StorageDevice
+
+__all__ = ["Raid0", "Raid1"]
+
+
+class _RaidBase(StorageDevice):
+    """Shared plumbing: member management and reset."""
+
+    def __init__(self, members: Sequence[StorageDevice], channel: InterfaceChannel) -> None:
+        if not members:
+            raise ValueError("a RAID group needs at least one member")
+        super().__init__(channel)
+        self.members = list(members)
+
+    def reset(self) -> None:
+        super().reset()
+        for member in self.members:
+            member.reset()
+
+
+class Raid0(_RaidBase):
+    """Striped array (no redundancy).
+
+    Parameters
+    ----------
+    members:
+        Member devices (commonly :class:`~repro.storage.hdd.HDDModel`).
+    stripe_kb:
+        Stripe unit; stripe ``i`` lives on member ``i mod n``.
+    channel:
+        Host-side link of the array controller; defaults to the first
+        member's channel model.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[StorageDevice],
+        stripe_kb: int = 64,
+        channel: InterfaceChannel | None = None,
+    ) -> None:
+        if stripe_kb <= 0:
+            raise ValueError("stripe unit must be positive")
+        if not members:
+            raise ValueError("a RAID group needs at least one member")
+        super().__init__(members, channel if channel is not None else members[0].channel)
+        self.stripe_sectors = stripe_kb * 2
+
+    @property
+    def name(self) -> str:
+        return f"raid0({len(self.members)}x {self.members[0].name})"
+
+    def _fragments(self, lba: int, size: int) -> list[tuple[int, int, int]]:
+        """``(member_index, local_lba, local_size)`` per stripe chunk."""
+        out = []
+        cursor, remaining = lba, size
+        n = len(self.members)
+        while remaining > 0:
+            stripe = cursor // self.stripe_sectors
+            within = cursor - stripe * self.stripe_sectors
+            chunk = min(remaining, self.stripe_sectors - within)
+            # Local address: collapse the stripe round-robin so member
+            # address spaces stay dense (and sequential streams remain
+            # sequential per member).
+            local = (stripe // n) * self.stripe_sectors + within
+            out.append((stripe % n, local, chunk))
+            cursor += chunk
+            remaining -= chunk
+        return out
+
+    def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
+        finish = t_ready
+        for member_index, local_lba, local_size in self._fragments(lba, size):
+            __, frag_finish = self.members[member_index]._service(op, local_lba, local_size, t_ready)
+            finish = max(finish, frag_finish)
+        return t_ready, finish
+
+
+class Raid1(_RaidBase):
+    """Mirrored pair (or wider mirror set).
+
+    Reads are dispatched to a single member chosen by ``read_policy``
+    (default: strict alternation, the common round-robin balancer);
+    writes are broadcast and complete when the slowest member finishes.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[StorageDevice],
+        channel: InterfaceChannel | None = None,
+        read_policy: Callable[[int, int], int] | None = None,
+    ) -> None:
+        if len(members) < 2:
+            raise ValueError("a mirror needs at least two members")
+        super().__init__(members, channel if channel is not None else members[0].channel)
+        self._read_counter = 0
+        self._read_policy = read_policy
+
+    @property
+    def name(self) -> str:
+        return f"raid1({len(self.members)}x {self.members[0].name})"
+
+    def reset(self) -> None:
+        super().reset()
+        self._read_counter = 0
+
+    def _pick_reader(self, lba: int) -> int:
+        if self._read_policy is not None:
+            return self._read_policy(lba, len(self.members)) % len(self.members)
+        member = self._read_counter % len(self.members)
+        self._read_counter += 1
+        return member
+
+    def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
+        if op is OpType.READ:
+            member = self._pick_reader(lba)
+            __, finish = self.members[member]._service(op, lba, size, t_ready)
+            return t_ready, finish
+        finish = t_ready
+        for member in self.members:
+            __, member_finish = member._service(op, lba, size, t_ready)
+            finish = max(finish, member_finish)
+        return t_ready, finish

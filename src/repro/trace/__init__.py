@@ -1,0 +1,71 @@
+"""Block trace substrate: records, containers, parsers, writers, statistics.
+
+This package is the data layer everything else builds on.  A trace is a
+columnar, timestamp-ordered sequence of block requests; see
+:class:`~repro.trace.trace.BlockTrace`.
+"""
+
+from .filters import (
+    filter_ops,
+    filter_sizes,
+    lba_range,
+    merge_traces,
+    split_windows,
+    subsample,
+    time_window,
+)
+from .intervals import (
+    AccessPatternSummary,
+    inter_arrival_times,
+    interval_after_mask,
+    read_fraction,
+    sequentiality_fraction,
+    summarize_pattern,
+)
+from .parsers import (
+    TraceParseError,
+    load_trace,
+    parse_fiu,
+    parse_internal,
+    parse_msps,
+    parse_msrc,
+)
+from .record import SECTOR_BYTES, IORecord, OpType
+from .stats import TraceStatistics, WorkloadRow, trace_statistics, workload_table
+from .trace import BlockTrace, TraceBuilder
+from .writers import dump_trace, write_blktrace_text, write_csv, write_msrc
+
+__all__ = [
+    "SECTOR_BYTES",
+    "filter_ops",
+    "filter_sizes",
+    "lba_range",
+    "merge_traces",
+    "split_windows",
+    "subsample",
+    "time_window",
+    "IORecord",
+    "OpType",
+    "BlockTrace",
+    "TraceBuilder",
+    "AccessPatternSummary",
+    "inter_arrival_times",
+    "interval_after_mask",
+    "read_fraction",
+    "sequentiality_fraction",
+    "summarize_pattern",
+    "TraceParseError",
+    "load_trace",
+    "parse_fiu",
+    "parse_internal",
+    "parse_msps",
+    "parse_msrc",
+    "TraceStatistics",
+    "WorkloadRow",
+    "trace_statistics",
+    "workload_table",
+    "dump_trace",
+    "write_blktrace_text",
+    "write_csv",
+    "write_msrc",
+]

@@ -1,0 +1,142 @@
+"""Trace filtering, windowing, splitting, and merging utilities.
+
+Working with the public trace corpora means slicing: MSRC publishes one
+file per volume per day, MSPS splits collections into fixed windows
+(the "24HR" workloads are literally day-long windows), and FIU merges
+several hosts into one file.  These helpers cover the operations a
+study needs before reconstruction:
+
+- :func:`time_window` / :func:`split_windows` — wall-clock slicing;
+- :func:`lba_range` — volume/partition slicing;
+- :func:`filter_ops` / :func:`filter_sizes` — request-shape slicing;
+- :func:`merge_traces` — interleave several traces on one timeline;
+- :func:`subsample` — deterministic down-sampling for quick looks.
+
+All functions return new traces; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .record import OpType
+from .trace import BlockTrace
+
+__all__ = [
+    "time_window",
+    "split_windows",
+    "lba_range",
+    "filter_ops",
+    "filter_sizes",
+    "merge_traces",
+    "subsample",
+]
+
+
+def time_window(trace: BlockTrace, start_us: float, end_us: float, rebase: bool = True) -> BlockTrace:
+    """Requests submitted in ``[start_us, end_us)``.
+
+    ``rebase`` shifts the window so its first request submits at 0 —
+    what every windowed study wants.
+    """
+    if end_us < start_us:
+        raise ValueError("window end precedes start")
+    mask = (trace.timestamps >= start_us) & (trace.timestamps < end_us)
+    out = trace.select(mask)
+    return out.rebased() if rebase and len(out) else out
+
+
+def split_windows(trace: BlockTrace, window_us: float) -> list[BlockTrace]:
+    """Chop a trace into consecutive fixed-length windows.
+
+    Returns one (rebased) trace per non-empty window, in order.  This is
+    how day-scale collections become the paper's per-trace units.
+    """
+    if window_us <= 0:
+        raise ValueError("window length must be positive")
+    if len(trace) == 0:
+        return []
+    start = float(trace.timestamps[0])
+    # Window index per request, then one split per populated window —
+    # O(n) regardless of how many empty windows the span contains.
+    indices = np.floor((trace.timestamps - start) / window_us).astype(np.int64)
+    out = []
+    boundaries = np.flatnonzero(np.diff(indices)) + 1
+    for chunk in np.split(np.arange(len(trace)), boundaries):
+        window = trace.select(chunk).rebased()
+        out.append(window)
+    return out
+
+
+def lba_range(trace: BlockTrace, first: int, last: int) -> BlockTrace:
+    """Requests whose extent overlaps ``[first, last]`` (sectors).
+
+    Overlap, not containment: a request straddling the boundary belongs
+    to the volume it touches, as a volume-level tracer would record it.
+    """
+    if last < first:
+        raise ValueError("lba range end precedes start")
+    mask = (trace.lbas <= last) & (trace.lbas + trace.sizes > first)
+    return trace.select(mask)
+
+
+def filter_ops(trace: BlockTrace, op: OpType) -> BlockTrace:
+    """Only requests of one operation type."""
+    return trace.select(trace.ops == int(op))
+
+
+def filter_sizes(trace: BlockTrace, min_sectors: int = 1, max_sectors: int | None = None) -> BlockTrace:
+    """Requests whose size lies in ``[min_sectors, max_sectors]``."""
+    if min_sectors < 1:
+        raise ValueError("min_sectors must be at least 1")
+    mask = trace.sizes >= min_sectors
+    if max_sectors is not None:
+        if max_sectors < min_sectors:
+            raise ValueError("max_sectors below min_sectors")
+        mask &= trace.sizes <= max_sectors
+    return trace.select(mask)
+
+
+def merge_traces(traces: list[BlockTrace], name: str = "merged") -> BlockTrace:
+    """Interleave several traces on one shared timeline.
+
+    Timestamps are taken as-is (already on a common clock, like the
+    multi-host FIU collections); rows are stably merge-sorted by submit
+    time.  Device/sync columns survive only when every input has them.
+    """
+    if not traces:
+        raise ValueError("nothing to merge")
+    all_dev = all(t.has_device_times for t in traces)
+    all_sync = all(t.has_sync_flags for t in traces)
+    ts = np.concatenate([t.timestamps for t in traces])
+    order = np.argsort(ts, kind="stable")
+    merged = BlockTrace(
+        timestamps=ts[order],
+        lbas=np.concatenate([t.lbas for t in traces])[order],
+        sizes=np.concatenate([t.sizes for t in traces])[order],
+        ops=np.concatenate([t.ops for t in traces])[order],
+        issues=np.concatenate([t.issues for t in traces])[order] if all_dev else None,
+        completes=np.concatenate([t.completes for t in traces])[order] if all_dev else None,
+        syncs=np.concatenate([t.syncs for t in traces])[order] if all_sync else None,
+        name=name,
+        metadata={"merged_from": [t.name for t in traces]},
+    )
+    return merged
+
+
+def subsample(trace: BlockTrace, fraction: float, seed: int = 0) -> BlockTrace:
+    """Keep a uniform random fraction of requests (order preserved).
+
+    Deterministic for a given seed.  Note that subsampling *stretches*
+    apparent inter-arrival times; it is a preview tool, not an input to
+    timing inference.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    if len(trace) == 0 or fraction == 1.0:
+        return trace.select(slice(None))
+    rng = np.random.default_rng(seed)
+    keep = np.sort(
+        rng.choice(len(trace), size=max(1, int(round(fraction * len(trace)))), replace=False)
+    )
+    return trace.select(keep)

@@ -1,0 +1,163 @@
+"""Single block-level I/O record and operation types.
+
+Every timestamp in this library is expressed in **microseconds** as a
+``float`` unless a function name or docstring says otherwise.  Block
+addresses (LBAs) and request sizes are expressed in **512-byte sectors**,
+the unit used underneath the Linux block layer where the paper's traces
+were collected.
+
+The record mirrors the information available in the public traces the
+paper reconstructs (FIU SRCMap / IODedup, Microsoft Production Server,
+MSR Cambridge):
+
+- ``timestamp`` -- the submit time observed below the block layer,
+- ``lba`` / ``size`` -- target address and length,
+- ``op`` -- read or write,
+- ``issue`` / ``complete`` -- optional device-driver issue and completion
+  stamps.  MSPS and MSRC traces carry these (the paper calls such traces
+  ":math:`T_{sdev}` known"); FIU traces do not.
+- ``sync`` -- optional ground-truth synchronous/asynchronous flag.  Real
+  traces never record this; our synthetic workload generator does, which
+  lets the verification experiments score the post-processing stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["OpType", "IORecord", "SECTOR_BYTES"]
+
+#: Bytes per logical sector, the sizing unit for ``lba`` and ``size``.
+SECTOR_BYTES = 512
+
+
+class OpType(enum.IntEnum):
+    """Block operation type.
+
+    Only reads and writes appear in the paper's traces; discard/flush
+    style operations were not part of 2007-2009 collections.
+    """
+
+    READ = 0
+    WRITE = 1
+
+    @classmethod
+    def from_str(cls, text: str) -> "OpType":
+        """Parse an operation type from common trace spellings.
+
+        Accepts ``R``/``W``, ``Read``/``Write`` (any case), and the
+        numeric forms ``0``/``1`` used by some trace dumps.
+
+        >>> OpType.from_str("Read")
+        <OpType.READ: 0>
+        >>> OpType.from_str("w")
+        <OpType.WRITE: 1>
+        """
+        t = text.strip().lower()
+        if t in ("r", "read", "0"):
+            return cls.READ
+        if t in ("w", "write", "1"):
+            return cls.WRITE
+        raise ValueError(f"unrecognised operation type: {text!r}")
+
+    def to_char(self) -> str:
+        """Single-character spelling used by our writers (``R`` or ``W``)."""
+        return "R" if self is OpType.READ else "W"
+
+
+@dataclass(frozen=True, slots=True)
+class IORecord:
+    """One block request as observed underneath the block layer.
+
+    Instances are immutable; bulk trace manipulation happens on the
+    columnar :class:`~repro.trace.trace.BlockTrace` instead, which stores
+    the same fields as NumPy arrays.  ``IORecord`` exists for row-wise
+    construction, parsing, and readable test fixtures.
+
+    Attributes
+    ----------
+    timestamp:
+        Submit time in microseconds from the start of the trace.
+    lba:
+        Logical block address of the first sector.
+    size:
+        Request length in sectors (must be positive).
+    op:
+        :class:`OpType.READ` or :class:`OpType.WRITE`.
+    issue:
+        Optional driver-to-device issue timestamp (microseconds), as
+        captured by event tracing on MSPS/MSRC systems.
+    complete:
+        Optional device completion timestamp (microseconds).
+    sync:
+        Optional ground-truth flag: ``True`` when the submitter blocked
+        on completion.  ``None`` when unknown (all real traces).
+    """
+
+    timestamp: float
+    lba: int
+    size: int
+    op: OpType
+    issue: float | None = field(default=None)
+    complete: float | None = field(default=None)
+    sync: bool | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"request size must be positive, got {self.size}")
+        if self.lba < 0:
+            raise ValueError(f"lba must be non-negative, got {self.lba}")
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+        if self.complete is not None and self.issue is not None and self.complete < self.issue:
+            raise ValueError("completion stamp precedes issue stamp")
+
+    @property
+    def bytes(self) -> int:
+        """Request length in bytes."""
+        return self.size * SECTOR_BYTES
+
+    @property
+    def end_lba(self) -> int:
+        """First sector *after* the request (``lba + size``)."""
+        return self.lba + self.size
+
+    @property
+    def device_time(self) -> float | None:
+        """Measured device service time ``complete - issue`` when known.
+
+        This is the quantity the paper calls :math:`T_{sdev}` for traces
+        collected with event-based kernel tracing.
+        """
+        if self.issue is None or self.complete is None:
+            return None
+        return self.complete - self.issue
+
+    def is_read(self) -> bool:
+        """``True`` for reads."""
+        return self.op is OpType.READ
+
+    def is_write(self) -> bool:
+        """``True`` for writes."""
+        return self.op is OpType.WRITE
+
+    def shifted(self, delta: float) -> "IORecord":
+        """Return a copy with all timestamps moved by ``delta`` microseconds."""
+        return IORecord(
+            timestamp=self.timestamp + delta,
+            lba=self.lba,
+            size=self.size,
+            op=self.op,
+            issue=None if self.issue is None else self.issue + delta,
+            complete=None if self.complete is None else self.complete + delta,
+            sync=self.sync,
+        )
+
+    def contiguous_with(self, previous: "IORecord") -> bool:
+        """``True`` if this request starts exactly where ``previous`` ended.
+
+        This is the sequentiality test used when grouping requests for
+        the inference model (Section III of the paper).
+        """
+        return self.lba == previous.end_lba

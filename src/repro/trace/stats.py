@@ -1,0 +1,111 @@
+"""Per-trace and per-workload statistics (Table I style summaries).
+
+Table I of the paper lists, for every workload: the number of block
+traces, the average request ("data") size in KB, and the total payload
+in GB.  :func:`trace_statistics` computes the per-trace ingredients and
+:func:`workload_table` aggregates a family of traces into one table row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .intervals import summarize_pattern
+from .record import SECTOR_BYTES
+from .trace import BlockTrace
+
+__all__ = ["TraceStatistics", "trace_statistics", "WorkloadRow", "workload_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStatistics:
+    """Summary statistics of a single block trace."""
+
+    name: str
+    n_requests: int
+    read_fraction: float
+    sequential_fraction: float
+    mean_request_kb: float
+    total_gb: float
+    duration_s: float
+    mean_intt_us: float
+    median_intt_us: float
+    iops: float
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Plain-dict view for tabular output."""
+        return {
+            "name": self.name,
+            "n_requests": self.n_requests,
+            "read_fraction": round(self.read_fraction, 4),
+            "sequential_fraction": round(self.sequential_fraction, 4),
+            "mean_request_kb": round(self.mean_request_kb, 2),
+            "total_gb": round(self.total_gb, 3),
+            "duration_s": round(self.duration_s, 3),
+            "mean_intt_us": round(self.mean_intt_us, 1),
+            "median_intt_us": round(self.median_intt_us, 1),
+            "iops": round(self.iops, 1),
+        }
+
+
+def trace_statistics(trace: BlockTrace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for one trace."""
+    pattern = summarize_pattern(trace)
+    duration_s = trace.duration / 1e6
+    return TraceStatistics(
+        name=trace.name,
+        n_requests=pattern.n_requests,
+        read_fraction=pattern.read_fraction,
+        sequential_fraction=pattern.sequential_fraction,
+        mean_request_kb=trace.mean_request_bytes() / 1024.0,
+        total_gb=trace.total_bytes() / 1024.0**3,
+        duration_s=duration_s,
+        mean_intt_us=pattern.mean_intt_us,
+        median_intt_us=pattern.median_intt_us,
+        iops=(pattern.n_requests / duration_s) if duration_s > 0 else 0.0,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadRow:
+    """One Table I row: a workload aggregated over its block traces."""
+
+    workload: str
+    category: str
+    n_traces: int
+    avg_data_size_kb: float
+    total_size_gb: float
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Plain-dict view for tabular output."""
+        return {
+            "workload": self.workload,
+            "category": self.category,
+            "n_traces": self.n_traces,
+            "avg_data_size_kb": round(self.avg_data_size_kb, 2),
+            "total_size_gb": round(self.total_size_gb, 3),
+        }
+
+
+def workload_table(traces: list[BlockTrace], workload: str, category: str = "") -> WorkloadRow:
+    """Aggregate a family of traces into a Table I row.
+
+    ``avg_data_size_kb`` is the request-weighted mean request size over
+    all the traces (what "Avg data size (KB)" measures in the paper);
+    ``total_size_gb`` is the summed payload.
+    """
+    if not traces:
+        return WorkloadRow(workload, category, 0, 0.0, 0.0)
+    total_requests = sum(len(t) for t in traces)
+    total_bytes = sum(t.total_bytes() for t in traces)
+    total_sectors = sum(int(np.sum(t.sizes)) for t in traces)
+    avg_kb = (total_sectors * SECTOR_BYTES / total_requests / 1024.0) if total_requests else 0.0
+    return WorkloadRow(
+        workload=workload,
+        category=category,
+        n_traces=len(traces),
+        avg_data_size_kb=avg_kb,
+        total_size_gb=total_bytes / 1024.0**3,
+    )

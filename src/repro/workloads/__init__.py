@@ -1,0 +1,42 @@
+"""Synthetic workload substrate: specs, generation, catalog, idle injection."""
+
+from .catalog import (
+    ALL_WORKLOADS,
+    FIU_WORKLOADS,
+    MSPS_WORKLOADS,
+    MSRC_WORKLOADS,
+    TABLE1_N_TRACES,
+    WORKLOAD_SPECS,
+    get_spec,
+    spec_variants,
+    workload_names,
+)
+from .generator import (
+    IdleProcess,
+    IntentStream,
+    SizeMix,
+    WorkloadSpec,
+    collect_trace,
+    generate_intents,
+)
+from .idle_injection import InjectionRecord, inject_idles
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "FIU_WORKLOADS",
+    "MSPS_WORKLOADS",
+    "MSRC_WORKLOADS",
+    "TABLE1_N_TRACES",
+    "WORKLOAD_SPECS",
+    "get_spec",
+    "spec_variants",
+    "workload_names",
+    "IdleProcess",
+    "IntentStream",
+    "SizeMix",
+    "WorkloadSpec",
+    "collect_trace",
+    "generate_intents",
+    "InjectionRecord",
+    "inject_idles",
+]

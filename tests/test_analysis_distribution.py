@@ -1,0 +1,128 @@
+"""Unit tests for empirical distributions and CDF shape classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import DiscretePMF, EmpiricalCDF, cdf_shape_class, log_spaced_grid, quantize
+
+
+class TestQuantize:
+    def test_rounds_to_multiples(self):
+        np.testing.assert_allclose(quantize(np.array([1.2, 2.6, 3.49]), 1.0), [1.0, 3.0, 3.0])
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([1.0]), 0.0)
+
+
+class TestLogGrid:
+    def test_covers_bounds(self):
+        g = log_spaced_grid(1.0, 1000.0, points_per_decade=10)
+        assert g[0] == pytest.approx(1.0)
+        assert g[-1] == pytest.approx(1000.0)
+        assert np.all(np.diff(g) > 0)
+
+    def test_single_point_when_degenerate(self):
+        assert len(log_spaced_grid(5.0, 5.0)) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            log_spaced_grid(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_spaced_grid(10.0, 1.0)
+
+
+class TestEmpiricalCDF:
+    def test_step_values(self):
+        cdf = EmpiricalCDF(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == pytest.approx(0.25)
+        assert cdf(2.5) == pytest.approx(0.5)
+        assert cdf(10.0) == 1.0
+
+    def test_vector_evaluation(self):
+        cdf = EmpiricalCDF(np.array([1.0, 2.0]))
+        out = cdf(np.array([0.0, 1.5, 3.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_quantile_inverts(self):
+        data = np.arange(1, 101, dtype=float)
+        cdf = EmpiricalCDF(data)
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        assert cdf.quantile(1.0) == 100.0
+        assert cdf.quantile(0.0) == 1.0
+
+    def test_quantile_bounds_checked(self):
+        cdf = EmpiricalCDF(np.array([1.0]))
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.array([]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.array([1.0, np.nan]))
+
+    def test_knots_are_strictly_increasing_and_end_at_one(self):
+        cdf = EmpiricalCDF(np.array([3.0, 1.0, 3.0, 2.0, 3.0]))
+        xs, ys = cdf.knots()
+        assert np.all(np.diff(xs) > 0)
+        assert ys[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(ys) > 0)
+
+    def test_support_grid_positive(self):
+        cdf = EmpiricalCDF(np.array([0.0, 1.0, 100.0]))
+        g = cdf.support_grid()
+        assert np.all(g > 0)
+
+
+class TestDiscretePMF:
+    def test_masses_sum_to_one(self):
+        pmf = DiscretePMF.from_samples(np.array([1.0, 1.0, 2.0, 3.0]))
+        assert pmf.masses.sum() == pytest.approx(1.0)
+        assert pmf.mass_at(1.0) == pytest.approx(0.5)
+        assert pmf.mass_at(99.0) == 0.0
+
+    def test_quantisation_merges_atoms(self):
+        pmf = DiscretePMF.from_samples(np.array([10.1, 10.2, 9.9, 50.0]), resolution=1.0)
+        assert pmf.mass_at(10.0) == pytest.approx(0.75)
+
+    def test_mode(self):
+        pmf = DiscretePMF.from_samples(np.array([5.0, 5.0, 7.0]))
+        assert pmf.mode() == 5.0
+
+    def test_entropy_zero_for_single_atom(self):
+        pmf = DiscretePMF.from_samples(np.array([4.0, 4.0]))
+        assert pmf.entropy() == pytest.approx(0.0)
+
+    def test_entropy_increases_with_spread(self):
+        tight = DiscretePMF.from_samples(np.array([1.0] * 9 + [2.0]))
+        flat = DiscretePMF.from_samples(np.arange(10, dtype=float))
+        assert flat.entropy() > tight.entropy()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DiscretePMF.from_samples(np.array([]))
+
+
+class TestShapeClass:
+    def test_global_maxima(self, rng):
+        # One tight mode: classic "global maxima" shape (Figure 5a).
+        samples = rng.lognormal(np.log(200.0), 0.15, size=4000)
+        assert cdf_shape_class(EmpiricalCDF(samples)) == "global-maxima"
+
+    def test_multi_maxima(self, rng):
+        # Two well-separated modes (Figure 5c).
+        a = rng.lognormal(np.log(100.0), 0.2, size=2000)
+        b = rng.lognormal(np.log(50_000.0), 0.2, size=2000)
+        samples = np.concatenate([a, b])
+        assert cdf_shape_class(EmpiricalCDF(samples)) == "multi-maxima"
+
+    def test_chunky_middle(self, rng):
+        # Mass spread over four decades with no dominant mode (Figure 5b).
+        samples = np.exp(rng.uniform(np.log(10.0), np.log(1e5), size=4000))
+        assert cdf_shape_class(EmpiricalCDF(samples)) == "chunky-middle"

@@ -1,0 +1,132 @@
+"""Unit tests for from-scratch pchip / spline interpolation.
+
+Values are cross-checked against scipy.interpolate where available
+(scipy is installed in CI but the library itself must not require it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CubicSplineInterpolator,
+    PchipInterpolator,
+    argmax_derivative,
+    interpolate_cdf,
+)
+
+scipy_interp = pytest.importorskip("scipy.interpolate")
+
+
+def cdf_knots() -> tuple[np.ndarray, np.ndarray]:
+    x = np.array([1.0, 10.0, 50.0, 100.0, 120.0, 500.0, 5000.0])
+    y = np.array([0.02, 0.05, 0.10, 0.55, 0.80, 0.95, 1.00])
+    return x, y
+
+
+class TestPchip:
+    def test_interpolates_knots_exactly(self):
+        x, y = cdf_knots()
+        p = PchipInterpolator(x, y)
+        np.testing.assert_allclose(p(x), y, atol=1e-12)
+
+    def test_matches_scipy_between_knots(self):
+        x, y = cdf_knots()
+        ours = PchipInterpolator(x, y)
+        theirs = scipy_interp.PchipInterpolator(x, y)
+        grid = np.linspace(x[0], x[-1], 400)
+        np.testing.assert_allclose(ours(grid), theirs(grid), atol=1e-9)
+
+    def test_derivative_matches_scipy(self):
+        x, y = cdf_knots()
+        ours = PchipInterpolator(x, y)
+        theirs = scipy_interp.PchipInterpolator(x, y).derivative()
+        grid = np.linspace(x[0], x[-1], 200)
+        np.testing.assert_allclose(ours.derivative(grid), theirs(grid), atol=1e-9)
+
+    def test_monotone_data_stays_monotone(self):
+        x, y = cdf_knots()
+        p = PchipInterpolator(x, y)
+        grid = np.linspace(x[0], x[-1], 2000)
+        values = np.asarray(p(grid))
+        assert np.all(np.diff(values) >= -1e-12)
+        # No overshoot above 1 — the property splines lack.
+        assert values.max() <= 1.0 + 1e-12
+
+    def test_two_knots_is_linear(self):
+        p = PchipInterpolator(np.array([0.0, 10.0]), np.array([0.0, 1.0]))
+        assert p(5.0) == pytest.approx(0.5)
+        assert p.derivative(3.0) == pytest.approx(0.1)
+
+    def test_scalar_and_array_evaluation(self):
+        x, y = cdf_knots()
+        p = PchipInterpolator(x, y)
+        assert isinstance(p(50.0), float)
+        assert np.asarray(p(np.array([50.0, 60.0]))).shape == (2,)
+
+    def test_invalid_knots(self):
+        with pytest.raises(ValueError):
+            PchipInterpolator(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            PchipInterpolator(np.array([1.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            PchipInterpolator(np.array([1.0, 2.0]), np.array([0.0, np.inf]))
+
+
+class TestSpline:
+    def test_interpolates_knots_exactly(self):
+        x, y = cdf_knots()
+        s = CubicSplineInterpolator(x, y)
+        np.testing.assert_allclose(s(x), y, atol=1e-9)
+
+    def test_matches_scipy_natural_spline(self):
+        x, y = cdf_knots()
+        ours = CubicSplineInterpolator(x, y)
+        theirs = scipy_interp.CubicSpline(x, y, bc_type="natural")
+        grid = np.linspace(x[0], x[-1], 300)
+        np.testing.assert_allclose(ours(grid), theirs(grid), atol=1e-8)
+
+    def test_spline_overshoots_where_pchip_does_not(self):
+        # A steep step: natural spline oscillates above 1 / below data,
+        # which is exactly the Figure 9 motivation for pchip.
+        x = np.array([0.0, 1.0, 2.0, 2.1, 3.0, 4.0])
+        y = np.array([0.0, 0.01, 0.02, 0.98, 0.99, 1.0])
+        spline = CubicSplineInterpolator(x, y)
+        pchip = PchipInterpolator(x, y)
+        grid = np.linspace(0.0, 4.0, 1000)
+        assert np.asarray(spline(grid)).max() > 1.0 + 1e-6
+        assert np.asarray(pchip(grid)).max() <= 1.0 + 1e-12
+
+    def test_two_knots_is_linear(self):
+        s = CubicSplineInterpolator(np.array([0.0, 2.0]), np.array([0.0, 1.0]))
+        assert s(1.0) == pytest.approx(0.5)
+
+
+class TestArgmaxDerivative:
+    def test_locates_steep_region(self):
+        x, y = cdf_knots()
+        p = PchipInterpolator(x, y)
+        loc, val = argmax_derivative(p)
+        # The steepest rise is between 50 and 120 (0.10 -> 0.80).
+        assert 50.0 <= loc <= 120.0
+        assert val > 0
+
+    def test_linear_curve_derivative_constant(self):
+        p = PchipInterpolator(np.array([0.0, 1.0, 2.0]), np.array([0.0, 0.5, 1.0]))
+        __, val = argmax_derivative(p, log_x=False)
+        assert val == pytest.approx(0.5, rel=1e-6)
+
+    def test_rejects_bad_density(self):
+        p = PchipInterpolator(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            argmax_derivative(p, samples_per_interval=0)
+
+
+class TestFactory:
+    def test_interpolate_cdf_dispatch(self):
+        x, y = cdf_knots()
+        assert isinstance(interpolate_cdf(x, y, "pchip"), PchipInterpolator)
+        assert isinstance(interpolate_cdf(x, y, "spline"), CubicSplineInterpolator)
+        with pytest.raises(ValueError):
+            interpolate_cdf(x, y, "linear")

@@ -1,0 +1,94 @@
+"""Unit tests for the Algorithm 1 steepness examination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import select_steepest, steepness_score
+
+
+class TestSteepnessScore:
+    def test_single_atom_is_maximally_steep(self):
+        result = steepness_score(np.full(100, 42.0))
+        assert result.steepness == pytest.approx(1.0)
+        assert result.utmost_value == 42.0
+        assert result.has_outlier
+
+    def test_spiked_distribution_beats_flat(self, rng):
+        # 80% of mass at one latency vs uniform spread.
+        spiked = np.concatenate([np.full(800, 100.0), rng.uniform(50, 5000, 200)])
+        flat = rng.uniform(50, 5000, 1000)
+        s_spiked = steepness_score(spiked, resolution=10.0)
+        s_flat = steepness_score(flat, resolution=10.0)
+        assert s_spiked.steepness > s_flat.steepness
+
+    def test_utmost_outlier_is_largest_significant_value(self, rng):
+        # Two spikes: 60% at 100us, 25% at 900us, rest spread.  Both are
+        # significant outliers; the utmost one is the *largest T_intt*
+        # ("it first looks for the T_intt with the maximum value"), which
+        # anchors the analysis on the service mode rather than on an
+        # async-submission spike at the low end.
+        samples = np.concatenate(
+            [np.full(600, 100.0), np.full(250, 900.0), rng.uniform(10, 5000, 150)]
+        )
+        result = steepness_score(samples, resolution=10.0)
+        assert result.utmost_value == pytest.approx(900.0)
+
+    def test_insignificant_tail_repeats_do_not_win(self, rng):
+        # One real mode plus a tail value repeated only twice: the pair
+        # of tail samples must not become the utmost outlier even if it
+        # clears the margin.
+        samples = np.concatenate(
+            [np.full(500, 100.0), rng.uniform(1_000, 1e6, 498), np.full(2, 5e6)]
+        )
+        result = steepness_score(samples, resolution=10.0)
+        assert result.utmost_value < 1e6
+
+    def test_no_outlier_yields_zero_score(self):
+        # Perfectly uniform masses: every point sits on the fit line.
+        samples = np.arange(1.0, 11.0)
+        result = steepness_score(samples)
+        assert result.steepness == 0.0
+        assert not result.has_outlier
+        assert np.isnan(result.utmost_value)
+
+    def test_margin_factor_controls_outlier_count(self, rng):
+        samples = np.concatenate([np.full(500, 100.0), rng.uniform(10, 1000, 500)])
+        strict = steepness_score(samples, resolution=5.0, margin_factor=5.0)
+        loose = steepness_score(samples, resolution=5.0, margin_factor=0.01)
+        assert loose.n_outliers >= strict.n_outliers
+
+
+class TestSelectSteepest:
+    def test_ranks_by_steepness(self, rng):
+        groups = {
+            "tight": np.full(200, 500.0) + rng.normal(0, 1, 200),
+            "loose": rng.uniform(10, 10_000, 200),
+            "medium": np.concatenate([np.full(120, 300.0), rng.uniform(10, 3000, 80)]),
+        }
+        ranked = select_steepest(groups, k=3, resolution=10.0)
+        keys = [k for k, _ in ranked]
+        assert keys[0] == "tight"
+        assert keys[-1] == "loose"
+
+    def test_k_limits_results(self, rng):
+        groups = {i: rng.uniform(0, 100, 50) for i in range(5)}
+        assert len(select_steepest(groups, k=2, resolution=1.0)) == 2
+
+    def test_small_groups_skipped(self):
+        groups = {"tiny": np.array([1.0, 2.0]), "ok": np.full(50, 5.0)}
+        ranked = select_steepest(groups, k=2, min_samples=8)
+        assert [k for k, _ in ranked] == ["ok"]
+
+    def test_deterministic_tie_break(self):
+        groups = {"b": np.full(50, 5.0), "a": np.full(50, 5.0)}
+        ranked = select_steepest(groups, k=2)
+        assert [k for k, _ in ranked] == ["a", "b"]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            select_steepest({}, k=0)
+
+    def test_empty_input(self):
+        assert select_steepest({}, k=2) == []

@@ -1,0 +1,125 @@
+"""Regression tests for the experiment layer (small-n figure runs).
+
+The benchmark harness runs each figure at presentation scale with shape
+assertions; these tests run tiny versions so a unit-test pass alone
+catches breakage anywhere in the experiment plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+class TestFig1:
+    def test_structure(self):
+        result = figures.fig1_intt_cdf(n_requests=800)
+        assert set(result.series) == {"OLD", "NEW", "Revision", "Acceleration"}
+        assert set(result.idle_loss_vs_new) == {"OLD", "Revision", "Acceleration"}
+        assert len(result.rows()) == 4
+
+    def test_acceleration_is_left_shift(self):
+        result = figures.fig1_intt_cdf(n_requests=800)
+        assert result.median_us["Acceleration"] * 100 == pytest.approx(result.median_us["OLD"])
+
+
+class TestFig3:
+    def test_breakdowns_cover_workloads(self):
+        result = figures.fig3_breakdown(workloads=("MSNFS", "ikki"), n_requests=600)
+        assert set(result.acceleration) == {"MSNFS", "ikki"}
+        for b in result.acceleration.values():
+            assert b.longer + b.equal + b.shorter == pytest.approx(1.0)
+
+
+class TestFig5:
+    def test_classes_valid(self):
+        result = figures.fig5_cdf_types(n_requests=600)
+        valid = {"global-maxima", "chunky-middle", "multi-maxima"}
+        assert set(result.synthetic.values()) <= valid
+        assert set(result.workloads.values()) <= valid
+
+
+class TestFig7:
+    def test_calibration_structure(self):
+        result = figures.fig7_tmovd_tcdel(workloads=("ikki", "casa"), n_requests=800)
+        assert set(result.tmovd_rep_us) == {"ikki", "casa"}
+        assert result.tmovd_overall_us > 0
+        assert result.tmovd_spread >= 1.0
+
+
+class TestFig9:
+    def test_pchip_never_overshoots(self):
+        result = figures.fig9_interpolation(n_samples=800)
+        assert result.overshoot["pchip"] == 0.0
+        assert result.overshoot["spline"] >= 0.0
+
+
+class TestFig10And11:
+    def test_sweep_structure(self):
+        result = figures.fig10_len_tp(
+            periods=(10_000.0,),
+            n_requests=700,
+            known_workloads=("CFS",),
+            unknown_workloads=("ikki",),
+        )
+        known = result.known.scores[10_000.0]
+        assert known.tp + known.fn > 0
+        assert 0.0 <= known.len_tp <= 1.0
+        assert len(result.rows()) == 2
+
+    def test_fp_groups(self):
+        result = figures.fig11_len_fp(n_requests=700)
+        assert isinstance(result.known_fp_us, np.ndarray)
+        assert isinstance(result.unknown_fp_us, np.ndarray)
+        assert len(result.rows()) == 2
+
+
+class TestFig12To15:
+    def test_fig12(self):
+        result = figures.fig12_method_cdfs(n_requests=700)
+        assert set(result.ks_to_target) == {
+            "acceleration-100x", "revision", "fixed-th-10ms", "dynamic", "tracetracker",
+        }
+        assert all(0.0 <= v <= 1.0 for v in result.ks_to_target.values())
+
+    def test_fig13(self):
+        result = figures.fig13_intt_gap(workloads=("MSNFS", "ikki"), n_requests=600)
+        means = result.method_means()
+        assert all(v >= 0 for v in means.values())
+        assert len(result.rows()) == 2
+
+    def test_fig14(self):
+        result = figures.fig14_target_diff(workloads=("MSNFS",), n_requests=600)
+        assert result.max_us["MSNFS"] >= result.avg_us["MSNFS"] >= 0.0
+
+    def test_fig15(self):
+        result = figures.fig15_distribution(workloads=("CFS",), n_requests=700)
+        assert "CFS" in result.median_us
+        assert set(result.median_us["CFS"]) == {"Target", "TraceTracker"}
+
+
+class TestFig16And17:
+    def test_fig16(self):
+        result = figures.fig16_avg_idle(workloads=("CFS", "ikki"), n_requests=700)
+        assert set(result.avg_idle_us) == {"CFS", "ikki"}
+        assert set(result.category_means_us()) == {"MSPS", "FIU"}
+
+    def test_fig17(self):
+        result = figures.fig17_idle_breakdown(workloads=("CFS", "ikki"), n_requests=700)
+        for b in result.breakdowns.values():
+            assert sum(b.frequency.values()) == pytest.approx(1.0)
+            assert sum(b.period.values()) == pytest.approx(1.0)
+
+
+class TestTable1:
+    def test_structure_and_counts(self):
+        result = figures.table1_characteristics(
+            workloads=("MSNFS", "ikki", "wdev"), traces_per_workload=1, n_requests=400
+        )
+        assert result.total_traces() == 577  # full paper inventory carried
+        assert set(result.rows_by_workload) == {"MSNFS", "ikki", "wdev"}
+        for row in result.rows_by_workload.values():
+            assert row.n_traces == 1
+            assert row.avg_data_size_kb > 0

@@ -1,0 +1,50 @@
+"""Unit tests for inference diagnostics and sanity checks."""
+
+from __future__ import annotations
+
+from repro.inference import LatencyModel, estimate_model, explain_report, model_sanity
+
+
+class TestExplainReport:
+    def test_explains_full_report(self, old_trace_bare):
+        report = estimate_model(old_trace_bare)
+        text = explain_report(report)
+        assert "Inferred latency model" in text
+        assert "beta" in text and "eta" in text
+        assert "T_movd" in text
+        # Group sizes appear in the prose.
+        assert str(report.read.size_steep1) in text
+
+    def test_mentions_fallback_notes(self, old_trace_bare):
+        report = estimate_model(old_trace_bare)
+        text = explain_report(report)
+        for note in report.fallbacks:
+            assert note in text
+
+
+class TestModelSanity:
+    def test_reasonable_model_passes(self):
+        model = LatencyModel(5.0, 6.0, 20.0, 25.0, 9_000.0)
+        assert model_sanity(model) == []
+
+    def test_inferred_models_mostly_sane(self, old_trace_bare):
+        report = estimate_model(old_trace_bare)
+        warnings = model_sanity(report.model)
+        # The mixed-spec trace has good size variety; no warnings expected.
+        assert warnings == []
+
+    def test_absurd_slope_flagged(self):
+        warnings = model_sanity(LatencyModel(1e-6, 5.0, 20.0, 20.0, 0.0))
+        assert any("beta" in w or "read slope" in w for w in warnings)
+
+    def test_extreme_ratio_flagged(self):
+        warnings = model_sanity(LatencyModel(100.0, 0.1, 20.0, 20.0, 0.0))
+        assert any("ratio" in w for w in warnings)
+
+    def test_huge_channel_delay_flagged(self):
+        warnings = model_sanity(LatencyModel(5.0, 5.0, 50_000.0, 20.0, 0.0))
+        assert any("channel" in w for w in warnings)
+
+    def test_impossible_movd_flagged(self):
+        warnings = model_sanity(LatencyModel(5.0, 5.0, 20.0, 20.0, 5e6))
+        assert any("moving delay" in w for w in warnings)

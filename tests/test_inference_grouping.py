@@ -1,0 +1,93 @@
+"""Unit tests for request grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference import GroupKey, group_intervals, random_groups, sequential_size_groups
+from repro.trace import BlockTrace, OpType
+
+
+def grouped_trace() -> BlockTrace:
+    # Requests: [rand R8, seq R8, rand W16, seq W16, rand R8]
+    # gaps:       10        20       30        40
+    return BlockTrace(
+        timestamps=[0.0, 10.0, 30.0, 60.0, 100.0],
+        lbas=[0, 8, 500, 516, 2000],
+        sizes=[8, 8, 16, 16, 8],
+        ops=[0, 0, 1, 1, 0],
+    )
+
+
+class TestGroupIntervals:
+    def test_keys_and_membership(self):
+        groups = group_intervals(grouped_trace())
+        # Leading requests 0..3 contribute gaps.
+        assert set(groups) == {
+            GroupKey(False, OpType.READ, 8),
+            GroupKey(True, OpType.READ, 8),
+            GroupKey(False, OpType.WRITE, 16),
+            GroupKey(True, OpType.WRITE, 16),
+        }
+        np.testing.assert_allclose(groups[GroupKey(False, OpType.READ, 8)], [10.0])
+        np.testing.assert_allclose(groups[GroupKey(True, OpType.WRITE, 16)], [40.0])
+
+    def test_min_samples_filters(self):
+        groups = group_intervals(grouped_trace(), min_samples=2)
+        assert groups == {}
+
+    def test_gap_mask_restricts(self):
+        mask = np.array([True, False, True, False])
+        groups = group_intervals(grouped_trace(), gap_mask=mask)
+        total = sum(len(v) for v in groups.values())
+        assert total == 2
+
+    def test_gap_mask_length_checked(self):
+        with pytest.raises(ValueError, match="length"):
+            group_intervals(grouped_trace(), gap_mask=np.array([True]))
+
+    def test_gap_mask_all_false(self):
+        mask = np.zeros(4, dtype=bool)
+        assert group_intervals(grouped_trace(), gap_mask=mask) == {}
+
+    def test_short_trace(self):
+        t = BlockTrace([0.0], [0], [8], [0])
+        assert group_intervals(t) == {}
+
+    def test_total_gaps_partitioned(self):
+        t = grouped_trace()
+        groups = group_intervals(t)
+        assert sum(len(v) for v in groups.values()) == len(t) - 1
+
+    def test_large_trace_partition_is_consistent(self, old_trace_bare):
+        groups = group_intervals(old_trace_bare)
+        assert sum(len(v) for v in groups.values()) == len(old_trace_bare) - 1
+        # Spot-check one group against a manual mask.
+        key = max(groups, key=lambda k: len(groups[k]))
+        seq = old_trace_bare.sequential_mask()[:-1]
+        ops = old_trace_bare.ops[:-1]
+        sizes = old_trace_bare.sizes[:-1]
+        manual = old_trace_bare.inter_arrival_times()[
+            (seq == key.sequential) & (ops == int(key.op)) & (sizes == key.size)
+        ]
+        np.testing.assert_allclose(np.sort(groups[key]), np.sort(manual))
+
+
+class TestGroupViews:
+    def test_sequential_size_groups(self):
+        groups = group_intervals(grouped_trace())
+        reads = sequential_size_groups(groups, OpType.READ)
+        assert set(reads) == {8}
+        writes = sequential_size_groups(groups, OpType.WRITE)
+        assert set(writes) == {16}
+
+    def test_random_groups(self):
+        groups = group_intervals(grouped_trace())
+        rand = random_groups(groups)
+        assert all(not k.sequential for k in rand)
+        assert len(rand) == 2
+
+    def test_group_key_str(self):
+        assert str(GroupKey(True, OpType.READ, 8)) == "seq-R-8"
+        assert str(GroupKey(False, OpType.WRITE, 64)) == "rand-W-64"

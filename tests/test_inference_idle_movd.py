@@ -1,0 +1,134 @@
+"""Unit tests for idle extraction and T_movd calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference import (
+    LatencyModel,
+    calibrate_tmovd,
+    extract_idle,
+    extract_idle_with_model,
+    measured_movd_samples,
+    tcdel_profile,
+)
+from repro.trace import BlockTrace
+from repro.workloads import collect_trace, generate_intents, get_spec
+
+
+@pytest.fixture()
+def simple_model() -> LatencyModel:
+    return LatencyModel(5.0, 5.0, 10.0, 10.0, 0.0)
+
+
+def flat_trace(gaps: list[float], size: int = 8) -> BlockTrace:
+    ts = np.concatenate([[0.0], np.cumsum(gaps)])
+    n = len(ts)
+    lbas = np.arange(n) * size  # fully sequential
+    return BlockTrace(ts, lbas, np.full(n, size), np.zeros(n, dtype=int))
+
+
+class TestExtractIdleWithModel:
+    def test_idle_is_gap_minus_tsdev(self, simple_model):
+        # Sequential reads of 8 sectors: tsdev = 40.
+        ex = extract_idle_with_model(flat_trace([100.0, 45.0, 30.0]), simple_model)
+        np.testing.assert_allclose(ex.tidle_us, [60.0, 5.0, 0.0])
+
+    def test_async_mask_flags_short_gaps(self, simple_model):
+        ex = extract_idle_with_model(flat_trace([100.0, 30.0]), simple_model)
+        np.testing.assert_array_equal(ex.async_mask, [False, True])
+
+    def test_summaries(self, simple_model):
+        ex = extract_idle_with_model(flat_trace([100.0, 45.0, 30.0]), simple_model)
+        assert ex.idle_frequency() == pytest.approx(2 / 3)
+        assert ex.total_idle_us() == pytest.approx(65.0)
+        assert ex.mean_idle_us() == pytest.approx(32.5)
+
+    def test_short_trace_rejected(self, simple_model):
+        with pytest.raises(ValueError):
+            extract_idle_with_model(BlockTrace([0.0], [0], [8], [0]), simple_model)
+
+
+class TestExtractIdle:
+    def test_measured_path_used_when_available(self, old_trace):
+        ex = extract_idle(old_trace)
+        assert ex.used_measured_tsdev
+        assert ex.report is None
+        np.testing.assert_allclose(ex.tsdev_us, old_trace.device_times()[:-1])
+
+    def test_measured_path_can_be_disabled(self, old_trace):
+        ex = extract_idle(old_trace, prefer_measured=False)
+        assert not ex.used_measured_tsdev
+        assert ex.report is not None
+
+    def test_inferred_path(self, old_trace_bare):
+        ex = extract_idle(old_trace_bare)
+        assert not ex.used_measured_tsdev
+        assert ex.report is not None
+        assert (ex.tidle_us >= 0).all()
+
+    def test_inferred_idle_close_to_ground_truth(self, old_trace_bare):
+        # The generator recorded the true injected idle in metadata.
+        ex = extract_idle(old_trace_bare)
+        true_total = old_trace_bare.metadata["total_user_idle_us"]
+        assert ex.total_idle_us() == pytest.approx(true_total, rel=0.35)
+
+
+class TestMovdCalibration:
+    def test_samples_positive_and_plentiful(self, old_trace):
+        samples = measured_movd_samples(old_trace)
+        assert samples.size > 100
+        assert (samples >= 0).all()
+
+    def test_requires_device_times(self, old_trace_bare):
+        with pytest.raises(ValueError):
+            measured_movd_samples(old_trace_bare)
+
+    def test_calibration_recovers_disk_movd(self, hdd):
+        # Replay three FIU-style catalog workloads on the disk; the
+        # representative must land inside the empirical moving-delay
+        # distribution (workloads span a fraction of the disk, so the
+        # *observed* seeks are shorter than the datasheet third-stroke).
+        traces = [
+            collect_trace(generate_intents(get_spec(name).scaled(2500)), hdd)
+            for name in ("ikki", "casa", "online")
+        ]
+        cal = calibrate_tmovd(traces)
+        all_samples = np.concatenate([measured_movd_samples(t) for t in traces])
+        lo, hi = np.percentile(all_samples[all_samples > 0], [5, 95])
+        assert lo <= cal.representative_us <= hi
+        # Mechanical scale: milliseconds, not microseconds.
+        assert 1_000.0 < cal.representative_us < 20_000.0
+        assert set(cal.per_workload_rep_us) == {"ikki", "casa", "online"}
+
+    def test_spread_is_bounded(self, hdd):
+        # The Figure 7a observation: workloads agree on T_movd's scale.
+        traces = [
+            collect_trace(generate_intents(get_spec(name).scaled(2000)), hdd)
+            for name in ("ikki", "topgun", "webmail", "casa")
+        ]
+        cal = calibrate_tmovd(traces)
+        assert cal.spread() < 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_tmovd([])
+
+
+class TestTcdelProfile:
+    def test_profile_has_all_classes(self, old_trace, hdd):
+        profile = tcdel_profile(old_trace, hdd)
+        assert set(profile) == {"SeqR", "RandR", "SeqW", "RandW"}
+
+    def test_rand_vs_seq_nearly_equal(self, old_trace, hdd):
+        # Figure 7b: Tcdel differs by op type but hardly by pattern.
+        profile = tcdel_profile(old_trace, hdd)
+        assert profile["SeqR"] == pytest.approx(profile["RandR"], rel=0.25)
+        assert profile["SeqW"] == pytest.approx(profile["RandW"], rel=0.25)
+
+    def test_magnitudes_match_channel(self, old_trace, hdd):
+        profile = tcdel_profile(old_trace, hdd)
+        # SATA-class: tens of microseconds.
+        for value in profile.values():
+            assert 5.0 < value < 500.0

@@ -1,0 +1,79 @@
+"""Unit tests for the LatencyModel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference import LatencyModel
+from repro.trace import BlockTrace, OpType
+
+
+@pytest.fixture()
+def model() -> LatencyModel:
+    return LatencyModel(
+        beta_us_per_sector=5.0,
+        eta_us_per_sector=6.0,
+        tcdel_read_us=15.0,
+        tcdel_write_us=20.0,
+        tmovd_us=10_000.0,
+    )
+
+
+class TestScalar:
+    def test_sequential_read(self, model):
+        assert model.tsdev(OpType.READ, 8, sequential=True) == pytest.approx(40.0)
+
+    def test_random_read_adds_movd(self, model):
+        assert model.tsdev(OpType.READ, 8, sequential=False) == pytest.approx(10_040.0)
+
+    def test_write_uses_eta(self, model):
+        assert model.tsdev(OpType.WRITE, 10, sequential=True) == pytest.approx(60.0)
+
+    def test_tslat_adds_channel(self, model):
+        assert model.tslat(OpType.READ, 8, True) == pytest.approx(55.0)
+        assert model.tslat(OpType.WRITE, 8, True) == pytest.approx(68.0)
+
+    def test_tcdel_per_op(self, model):
+        assert model.tcdel(OpType.READ) == 15.0
+        assert model.tcdel(OpType.WRITE) == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(-1.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(1.0, float("nan"), 1.0, 1.0, 1.0)
+
+
+class TestVectorised:
+    def test_tsdev_array_matches_scalar(self, model):
+        trace = BlockTrace(
+            timestamps=[0.0, 1.0, 2.0],
+            lbas=[0, 8, 500],
+            sizes=[8, 8, 16],
+            ops=[0, 0, 1],
+        )
+        arr = model.tsdev_array(trace)
+        seq = trace.sequential_mask()
+        expected = [
+            model.tsdev(OpType(int(trace.ops[i])), int(trace.sizes[i]), bool(seq[i]))
+            for i in range(3)
+        ]
+        np.testing.assert_allclose(arr, expected)
+
+    def test_tslat_array(self, model):
+        trace = BlockTrace([0.0, 1.0], [0, 500], [8, 8], [0, 1])
+        np.testing.assert_allclose(
+            model.tslat_array(trace), model.tsdev_array(trace) + model.tcdel_array(trace)
+        )
+
+    def test_describe_round_trip(self, model):
+        d = model.describe()
+        rebuilt = LatencyModel(
+            d["beta_us_per_sector"],
+            d["eta_us_per_sector"],
+            d["tcdel_read_us"],
+            d["tcdel_write_us"],
+            d["tmovd_us"],
+        )
+        assert rebuilt == model

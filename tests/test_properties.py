@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import (
+    DiscretePMF,
+    EmpiricalCDF,
+    PchipInterpolator,
+    paper_line_fit,
+    steepness_score,
+)
+from repro.inference import LatencyModel
+from repro.metrics.comparison import intt_breakdown
+from repro.replay import revive_async
+from repro.trace import BlockTrace, OpType
+from repro.workloads import inject_idles
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+finite_floats = st.floats(
+    min_value=1e-3, max_value=1e8, allow_nan=False, allow_infinity=False
+)
+
+samples_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=finite_floats,
+)
+
+
+@st.composite
+def block_traces(draw, min_n: int = 2, max_n: int = 60, with_dev: bool = False):
+    """Random valid BlockTrace with non-decreasing timestamps."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    gaps = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=n - 1,
+            elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        )
+    )
+    ts = np.concatenate([[0.0], np.cumsum(gaps)])
+    lbas = draw(
+        hnp.arrays(dtype=np.int64, shape=n, elements=st.integers(min_value=0, max_value=10**9))
+    )
+    sizes = draw(
+        hnp.arrays(dtype=np.int64, shape=n, elements=st.integers(min_value=1, max_value=2048))
+    )
+    ops = draw(hnp.arrays(dtype=np.int8, shape=n, elements=st.sampled_from([0, 1])))
+    if with_dev:
+        dev = draw(
+            hnp.arrays(
+                dtype=np.float64,
+                shape=n,
+                elements=st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+            )
+        )
+        return BlockTrace(ts, lbas, sizes, ops, issues=ts, completes=ts + dev)
+    return BlockTrace(ts, lbas, sizes, ops)
+
+
+# ----------------------------------------------------------------------
+# CDF / PMF invariants
+# ----------------------------------------------------------------------
+
+
+class TestCDFProperties:
+    @given(samples_arrays)
+    def test_cdf_bounded_and_monotone(self, samples):
+        cdf = EmpiricalCDF(samples)
+        grid = np.linspace(samples.min() - 1, samples.max() + 1, 50)
+        values = cdf.evaluate_on(grid)
+        assert np.all(values >= 0) and np.all(values <= 1)
+        assert np.all(np.diff(values) >= 0)
+        assert cdf(samples.max()) == 1.0
+
+    @given(samples_arrays)
+    def test_quantile_is_pseudo_inverse(self, samples):
+        cdf = EmpiricalCDF(samples)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            x = cdf.quantile(q)
+            assert cdf(x) >= q - 1e-12
+
+    @given(samples_arrays)
+    def test_pmf_masses_sum_to_one(self, samples):
+        pmf = DiscretePMF.from_samples(samples)
+        assert abs(pmf.masses.sum() - 1.0) < 1e-9
+        assert np.all(np.diff(pmf.values) > 0)
+
+    @given(samples_arrays, st.floats(min_value=0.01, max_value=100.0))
+    def test_quantised_pmf_still_sums_to_one(self, samples, resolution):
+        pmf = DiscretePMF.from_samples(samples, resolution=resolution)
+        assert abs(pmf.masses.sum() - 1.0) < 1e-9
+
+
+class TestPchipProperties:
+    @given(
+        st.lists(finite_floats, min_size=3, max_size=20, unique=True),
+    )
+    def test_pchip_preserves_monotone_cdf(self, xs):
+        x = np.sort(np.asarray(xs))
+        y = np.linspace(0.1, 1.0, len(x))
+        p = PchipInterpolator(x, y)
+        grid = np.linspace(x[0], x[-1], 200)
+        values = np.asarray(p(grid))
+        assert np.all(np.diff(values) >= -1e-9)
+        assert values.min() >= y[0] - 1e-9
+        assert values.max() <= y[-1] + 1e-9
+
+    @given(st.lists(finite_floats, min_size=2, max_size=15, unique=True))
+    def test_pchip_interpolates_knots(self, xs):
+        x = np.sort(np.asarray(xs))
+        y = np.linspace(0.0, 1.0, len(x))
+        p = PchipInterpolator(x, y)
+        np.testing.assert_allclose(np.asarray(p(x)), y, atol=1e-9)
+
+
+class TestSteepnessProperties:
+    @given(samples_arrays)
+    @settings(max_examples=50)
+    def test_score_is_finite_and_bounded(self, samples):
+        # An outlier sits strictly above the fit line (score > 0); the
+        # line itself may dip negative, so the only upper bound is the
+        # mass (<= 1) minus the line's value — finite in all cases.
+        result = steepness_score(samples, resolution=1.0)
+        assert np.isfinite(result.steepness)
+        assert result.steepness >= 0.0
+        if result.has_outlier:
+            assert result.utmost_mass <= 1.0 + 1e-9
+
+    @given(samples_arrays)
+    @settings(max_examples=50)
+    def test_fit_line_passes_through_mean(self, samples):
+        pmf = DiscretePMF.from_samples(samples)
+        if len(pmf) < 2:
+            return
+        fit = paper_line_fit(pmf.values, pmf.masses)
+        assert abs(fit(np.mean(pmf.values)) - np.mean(pmf.masses)) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Trace transformation invariants
+# ----------------------------------------------------------------------
+
+
+class TestTraceProperties:
+    @given(block_traces())
+    @settings(max_examples=50)
+    def test_gaps_non_negative_and_consistent(self, trace):
+        gaps = trace.inter_arrival_times()
+        assert (gaps >= 0).all()
+        assert len(gaps) == len(trace) - 1
+        np.testing.assert_allclose(gaps.sum(), trace.duration)
+
+    @given(block_traces(), st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=50)
+    def test_shift_preserves_gaps(self, trace, delta):
+        shifted = trace.shifted(delta)
+        np.testing.assert_allclose(
+            shifted.inter_arrival_times(), trace.inter_arrival_times(), rtol=1e-9, atol=1e-6
+        )
+
+    @given(block_traces(min_n=3))
+    @settings(max_examples=50)
+    def test_rebase_starts_at_zero(self, trace):
+        assert trace.rebased().timestamps[0] == 0.0
+
+    @given(block_traces(min_n=2, with_dev=True))
+    @settings(max_examples=50)
+    def test_injection_monotone_and_accounted(self, trace):
+        injected, record = inject_idles(trace, period_us=123.0, fraction=0.5, seed=1)
+        assert np.all(np.diff(injected.timestamps) >= -1e-9)
+        extra = injected.duration - trace.duration
+        np.testing.assert_allclose(extra, record.total_injected_us(), rtol=1e-9, atol=1e-6)
+
+    @given(block_traces(min_n=3, with_dev=True), st.data())
+    @settings(max_examples=50)
+    def test_revive_async_never_lengthens(self, trace, data):
+        n_gaps = len(trace) - 1
+        indices = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n_gaps - 1), unique=True, max_size=n_gaps)
+        )
+        out = revive_async(trace, np.asarray(sorted(indices), dtype=int))
+        assert out.duration <= trace.duration + 1e-6
+        assert np.all(np.diff(out.timestamps) >= -1e-9)
+
+
+class TestModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        st.integers(min_value=1, max_value=4096),
+    )
+    def test_latency_model_ordering(self, beta, eta, tr, tw, movd, size):
+        model = LatencyModel(beta, eta, tr, tw, movd)
+        for op in (OpType.READ, OpType.WRITE):
+            seq = model.tsdev(op, size, sequential=True)
+            rand = model.tsdev(op, size, sequential=False)
+            assert rand >= seq  # moving delay never negative
+            assert model.tslat(op, size, True) >= seq  # channel adds time
+
+
+class TestBreakdownProperties:
+    @given(block_traces(min_n=3), block_traces(min_n=3))
+    @settings(max_examples=50)
+    def test_breakdown_fractions_sum_to_one(self, a, b):
+        if len(a) != len(b):
+            return
+        breakdown = intt_breakdown(a, b)
+        total = breakdown.longer + breakdown.equal + breakdown.shorter
+        assert abs(total - 1.0) < 1e-9

@@ -1,0 +1,95 @@
+"""Property-based tests for filters, RAID fragmenting, and replay invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replay import replay_with_idle
+from repro.storage import ConstantLatencyDevice, Raid0, SATA_600
+from repro.trace import BlockTrace, filter_sizes, merge_traces, split_windows, time_window
+
+from .test_properties import block_traces
+
+
+class TestFilterProperties:
+    @given(block_traces(min_n=2, max_n=80), st.floats(min_value=1.0, max_value=1e7))
+    @settings(max_examples=40, deadline=None)
+    def test_split_windows_partition(self, trace, window_us):
+        windows = split_windows(trace, window_us)
+        assert sum(len(w) for w in windows) == len(trace)
+        for w in windows:
+            assert w.duration <= window_us
+
+    @given(block_traces(min_n=2, max_n=60), st.data())
+    @settings(max_examples=40)
+    def test_time_window_subset(self, trace, data):
+        lo = data.draw(st.floats(min_value=0.0, max_value=float(trace.timestamps[-1])))
+        hi = data.draw(st.floats(min_value=lo, max_value=float(trace.timestamps[-1]) + 1.0))
+        window = time_window(trace, lo, hi, rebase=False)
+        assert len(window) <= len(trace)
+        if len(window):
+            assert window.timestamps[0] >= lo
+            assert window.timestamps[-1] < hi
+
+    @given(block_traces(min_n=1, max_n=60), st.integers(min_value=1, max_value=2048))
+    @settings(max_examples=40)
+    def test_filter_sizes_bounds(self, trace, bound):
+        small = filter_sizes(trace, 1, bound)
+        large = filter_sizes(trace, bound + 1) if bound < 2048 else small.empty_like()
+        assert len(small) + len(large) == len(trace)
+
+    @given(block_traces(min_n=1, max_n=30), block_traces(min_n=1, max_n=30))
+    @settings(max_examples=40)
+    def test_merge_preserves_multiset(self, a, b):
+        merged = merge_traces([a, b])
+        assert len(merged) == len(a) + len(b)
+        assert np.all(np.diff(merged.timestamps) >= 0)
+        np.testing.assert_array_equal(
+            np.sort(merged.lbas), np.sort(np.concatenate([a.lbas, b.lbas]))
+        )
+
+
+class TestRaidProperties:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10**7),
+        st.integers(min_value=1, max_value=5000),
+    )
+    @settings(max_examples=60)
+    def test_fragments_cover_extent_exactly(self, n_members, stripe_kb, lba, size):
+        raid = Raid0(
+            [ConstantLatencyDevice(SATA_600) for _ in range(n_members)], stripe_kb=stripe_kb
+        )
+        frags = raid._fragments(lba, size)
+        assert sum(f[2] for f in frags) == size
+        assert all(0 <= f[0] < n_members for f in frags)
+        assert all(f[2] >= 1 for f in frags)
+        # No fragment exceeds the stripe unit.
+        assert all(f[2] <= raid.stripe_sectors for f in frags)
+
+
+class TestReplayProperties:
+    @given(block_traces(min_n=2, max_n=40), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_replay_gap_decomposition(self, trace, data):
+        n = len(trace)
+        idle = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=1e5),
+                    min_size=n - 1,
+                    max_size=n - 1,
+                )
+            )
+        )
+        device = ConstantLatencyDevice(SATA_600, read_us=50.0, write_us=75.0)
+        result = replay_with_idle(trace, device, idle)
+        gaps = result.trace.inter_arrival_times()
+        # Every replayed gap is exactly service latency + injected idle.
+        latencies = np.array([c.latency for c in result.completions[:-1]])
+        np.testing.assert_allclose(gaps, latencies + idle, rtol=1e-9, atol=1e-6)
+        # And therefore never shorter than the idle alone.
+        assert np.all(gaps >= idle - 1e-9)

@@ -1,0 +1,145 @@
+"""Unit tests for the replayer, collector, and async post-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.replay import (
+    detect_async_indices,
+    replay_back_to_back,
+    replay_with_idle,
+    revive_async,
+)
+from repro.trace import BlockTrace, OpType
+
+
+def pattern_trace(n: int = 20) -> BlockTrace:
+    ts = np.arange(n) * 10_000.0
+    return BlockTrace(ts, np.arange(n) * 8, np.full(n, 8), np.tile([0, 1], n)[:n], name="p")
+
+
+class TestReplayer:
+    def test_preserves_request_pattern(self, const_device):
+        old = pattern_trace()
+        result = replay_with_idle(old, const_device, np.full(len(old) - 1, 100.0))
+        np.testing.assert_array_equal(result.trace.lbas, old.lbas)
+        np.testing.assert_array_equal(result.trace.sizes, old.sizes)
+        np.testing.assert_array_equal(result.trace.ops, old.ops)
+
+    def test_gaps_are_service_plus_idle(self, const_device):
+        old = pattern_trace(5)
+        idle = np.array([100.0, 200.0, 300.0, 400.0])
+        result = replay_with_idle(old, const_device, idle)
+        gaps = result.trace.inter_arrival_times()
+        service = np.array([c.latency for c in result.completions[:-1]])
+        np.testing.assert_allclose(gaps, service + idle)
+
+    def test_collected_trace_has_device_times(self, const_device):
+        result = replay_with_idle(pattern_trace(), const_device, None)
+        assert result.trace.has_device_times
+        # Driver-level stamps: device time = channel delay + service.
+        dev = result.trace.device_times()
+        reads = dev[result.trace.read_mask()]
+        writes = dev[result.trace.write_mask()]
+        np.testing.assert_allclose(
+            reads, 100.0 + const_device.channel.delay_us(OpType.READ, 8)
+        )
+        np.testing.assert_allclose(
+            writes, 200.0 + const_device.channel.delay_us(OpType.WRITE, 8)
+        )
+
+    def test_back_to_back_has_zero_idle(self, const_device):
+        result = replay_back_to_back(pattern_trace(6), const_device)
+        gaps = result.trace.inter_arrival_times()
+        latencies = np.array([c.latency for c in result.completions[:-1]])
+        np.testing.assert_allclose(gaps, latencies)
+
+    def test_metadata_labels(self, const_device):
+        result = replay_with_idle(pattern_trace(), const_device, None, method="m1")
+        assert result.trace.metadata["method"] == "m1"
+        assert result.trace.metadata["replayed_on"] == const_device.name
+
+    def test_idle_length_validation(self, const_device):
+        old = pattern_trace(5)
+        with pytest.raises(ValueError, match="length"):
+            replay_with_idle(old, const_device, np.zeros(2))
+        with pytest.raises(ValueError, match="non-negative"):
+            replay_with_idle(old, const_device, np.full(4, -1.0))
+
+    def test_empty_trace_rejected(self, const_device):
+        with pytest.raises(ValueError):
+            replay_with_idle(BlockTrace([], [], [], []), const_device, None)
+
+    def test_full_length_idle_array_accepted(self, const_device):
+        old = pattern_trace(5)
+        result = replay_with_idle(old, const_device, np.zeros(5))
+        assert len(result.trace) == 5
+
+    def test_device_reset_before_replay(self, const_device):
+        old = pattern_trace(3)
+        a = replay_with_idle(old, const_device, None).trace.timestamps
+        b = replay_with_idle(old, const_device, None).trace.timestamps
+        np.testing.assert_allclose(a, b)
+
+
+class TestDetectAsync:
+    def test_detects_short_gaps(self):
+        tintt = np.array([100.0, 30.0, 500.0])
+        tsdev = np.array([50.0, 50.0, 50.0])
+        np.testing.assert_array_equal(detect_async_indices(tintt, tsdev), [1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            detect_async_indices(np.zeros(3), np.zeros(2))
+
+
+class TestReviveAsync:
+    def _new_trace(self) -> BlockTrace:
+        # Gaps 300 each; device time 200 each.
+        ts = np.array([0.0, 300.0, 600.0, 900.0])
+        return BlockTrace(
+            ts,
+            [0, 8, 16, 24],
+            [8, 8, 8, 8],
+            [0, 0, 0, 0],
+            issues=ts + 10.0,
+            completes=ts + 210.0,
+        )
+
+    def test_flagged_gap_tightened_by_device_time(self):
+        out = revive_async(self._new_trace(), np.array([1]))
+        gaps = out.inter_arrival_times()
+        np.testing.assert_allclose(gaps, [300.0, 100.0, 300.0])
+
+    def test_unflagged_trace_unchanged(self):
+        original = self._new_trace()
+        out = revive_async(original, np.array([], dtype=int))
+        np.testing.assert_allclose(out.timestamps, original.timestamps)
+
+    def test_min_gap_floor(self):
+        out = revive_async(self._new_trace(), np.array([0, 1, 2]), min_gap_us=150.0)
+        assert (out.inter_arrival_times() >= 150.0).all()
+
+    def test_device_times_preserved(self):
+        original = self._new_trace()
+        out = revive_async(original, np.array([1, 2]))
+        np.testing.assert_allclose(out.device_times(), original.device_times())
+
+    def test_requires_device_times(self):
+        bare = BlockTrace([0.0, 10.0], [0, 8], [8, 8], [0, 0])
+        with pytest.raises(ValueError):
+            revive_async(bare, np.array([0]))
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            revive_async(self._new_trace(), np.array([99]))
+
+    def test_metadata_annotated(self):
+        out = revive_async(self._new_trace(), np.array([1]))
+        assert out.metadata["postprocessed"] is True
+        assert out.metadata["n_async_gaps"] == 1
+
+    def test_short_trace_passthrough(self):
+        t = BlockTrace([0.0], [0], [8], [0], issues=[0.0], completes=[10.0])
+        assert revive_async(t, np.array([], dtype=int)) is t

@@ -1,0 +1,108 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import EventQueue, Simulation
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0, lambda: None)
+        q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        assert q.pop().time == 1.0
+        assert q.pop().time == 3.0
+        assert q.pop().time == 5.0
+        assert q.pop() is None
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("first"))
+        q.push(1.0, lambda: order.append("second"))
+        q.pop().action()
+        q.pop().action()
+        assert order == ["first", "second"]
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        assert q.pop().time == 2.0
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        e.cancel()
+        assert len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        e = q.push(4.0, lambda: None)
+        assert q.peek_time() == 4.0
+        e.cancel()
+        assert q.peek_time() is None
+
+
+class TestSimulation:
+    def test_runs_in_time_order(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.schedule_after(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0, 5.0]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulation()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule_after(10.0, lambda: seen.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert seen == [1.0, 11.0]
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulation()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().schedule_after(-1.0, lambda: None)
+
+    def test_step(self):
+        sim = Simulation()
+        sim.schedule_at(3.0, lambda: None)
+        assert sim.step() is True
+        assert sim.now == 3.0
+        assert sim.step() is False
+
+    def test_pending(self):
+        sim = Simulation()
+        assert sim.pending == 0
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.pending == 1

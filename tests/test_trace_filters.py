@@ -1,0 +1,165 @@
+"""Unit tests for trace filtering, windowing, splitting, and merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    BlockTrace,
+    OpType,
+    filter_ops,
+    filter_sizes,
+    lba_range,
+    merge_traces,
+    split_windows,
+    subsample,
+    time_window,
+)
+
+
+def sample_trace(n: int = 20) -> BlockTrace:
+    ts = np.arange(n) * 1000.0
+    return BlockTrace(
+        timestamps=ts,
+        lbas=np.arange(n) * 100,
+        sizes=np.tile([8, 64], n)[:n],
+        ops=np.tile([0, 1], n)[:n],
+        issues=ts,
+        completes=ts + 50.0,
+        name="sample",
+    )
+
+
+class TestTimeWindow:
+    def test_half_open_interval(self):
+        t = sample_trace()
+        w = time_window(t, 5000.0, 10_000.0, rebase=False)
+        assert list(w.timestamps) == [5000.0, 6000.0, 7000.0, 8000.0, 9000.0]
+
+    def test_rebase(self):
+        w = time_window(sample_trace(), 5000.0, 10_000.0)
+        assert w.timestamps[0] == 0.0
+        assert w.issues is not None and w.issues[0] == 0.0
+
+    def test_empty_window(self):
+        assert len(time_window(sample_trace(), 1e9, 2e9)) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            time_window(sample_trace(), 10.0, 5.0)
+
+
+class TestSplitWindows:
+    def test_covers_all_requests(self):
+        t = sample_trace()
+        windows = split_windows(t, 4000.0)
+        assert sum(len(w) for w in windows) == len(t)
+
+    def test_each_window_rebased_and_bounded(self):
+        windows = split_windows(sample_trace(), 4000.0)
+        for w in windows:
+            assert w.timestamps[0] == 0.0
+            assert w.duration < 4000.0
+
+    def test_window_count(self):
+        # 20 requests at 1ms spacing = 19ms span -> 5 windows of 4ms.
+        assert len(split_windows(sample_trace(), 4000.0)) == 5
+
+    def test_empty_trace(self):
+        assert split_windows(BlockTrace([], [], [], []), 1000.0) == []
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            split_windows(sample_trace(), 0.0)
+
+
+class TestLbaRange:
+    def test_overlap_semantics(self):
+        # Request at lba=100 size=8 covers [100, 108): overlaps range
+        # ending at 100 but not one ending at 99.
+        t = sample_trace()
+        assert 100 in lba_range(t, 0, 100).lbas
+        assert 100 not in lba_range(t, 0, 99).lbas
+
+    def test_straddling_request_included(self):
+        t = BlockTrace([0.0], [90], [20], [0])  # covers [90, 110)
+        assert len(lba_range(t, 100, 200)) == 1
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            lba_range(sample_trace(), 10, 5)
+
+
+class TestOpSizeFilters:
+    def test_filter_ops(self):
+        t = sample_trace()
+        reads = filter_ops(t, OpType.READ)
+        assert (reads.ops == int(OpType.READ)).all()
+        writes = filter_ops(t, OpType.WRITE)
+        assert len(reads) + len(writes) == len(t)
+
+    def test_filter_sizes(self):
+        t = sample_trace()
+        small = filter_sizes(t, 1, 8)
+        assert (small.sizes == 8).all()
+        big = filter_sizes(t, 64)
+        assert (big.sizes == 64).all()
+
+    def test_filter_sizes_validation(self):
+        with pytest.raises(ValueError):
+            filter_sizes(sample_trace(), 0)
+        with pytest.raises(ValueError):
+            filter_sizes(sample_trace(), 10, 5)
+
+
+class TestMerge:
+    def test_merge_interleaves_by_time(self):
+        a = BlockTrace([0.0, 2000.0], [0, 8], [8, 8], [0, 0], name="a")
+        b = BlockTrace([1000.0, 3000.0], [100, 108], [8, 8], [1, 1], name="b")
+        merged = merge_traces([a, b])
+        assert list(merged.timestamps) == [0.0, 1000.0, 2000.0, 3000.0]
+        assert list(merged.ops) == [0, 1, 0, 1]
+        assert merged.metadata["merged_from"] == ["a", "b"]
+
+    def test_merge_drops_partial_device_columns(self):
+        a = sample_trace(4)
+        b = BlockTrace([100.0], [0], [8], [0])
+        merged = merge_traces([a, b])
+        assert not merged.has_device_times
+
+    def test_merge_keeps_full_device_columns(self):
+        merged = merge_traces([sample_trace(4), sample_trace(4).shifted(1e6)])
+        assert merged.has_device_times
+
+    def test_merge_stable_on_ties(self):
+        a = BlockTrace([0.0], [1], [8], [0], name="a")
+        b = BlockTrace([0.0], [2], [8], [0], name="b")
+        merged = merge_traces([a, b])
+        assert list(merged.lbas) == [1, 2]
+
+    def test_merge_empty_list(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+
+class TestSubsample:
+    def test_fraction_respected(self):
+        t = sample_trace(20)
+        s = subsample(t, 0.5, seed=1)
+        assert len(s) == 10
+        assert np.all(np.diff(s.timestamps) >= 0)
+
+    def test_deterministic(self):
+        t = sample_trace(20)
+        a = subsample(t, 0.3, seed=2)
+        b = subsample(t, 0.3, seed=2)
+        np.testing.assert_array_equal(a.lbas, b.lbas)
+
+    def test_full_fraction_is_identity(self):
+        t = sample_trace(5)
+        assert len(subsample(t, 1.0)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subsample(sample_trace(), 0.0)

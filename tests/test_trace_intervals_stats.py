@@ -1,0 +1,97 @@
+"""Unit tests for interval helpers and Table-I style statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    BlockTrace,
+    OpType,
+    interval_after_mask,
+    read_fraction,
+    sequentiality_fraction,
+    summarize_pattern,
+    trace_statistics,
+    workload_table,
+)
+
+
+def ladder_trace() -> BlockTrace:
+    # gaps: 10, 20, 30, 40
+    return BlockTrace(
+        timestamps=[0.0, 10.0, 30.0, 60.0, 100.0],
+        lbas=[0, 8, 100, 108, 300],
+        sizes=[8, 8, 8, 8, 8],
+        ops=[0, 1, 0, 1, 0],
+        name="ladder",
+    )
+
+
+class TestIntervalHelpers:
+    def test_interval_after_mask_attributes_gaps_to_leading_request(self):
+        t = ladder_trace()
+        reads = t.read_mask()
+        gaps = interval_after_mask(t, reads)
+        # Reads at indices 0, 2 (index 4 has no following gap).
+        np.testing.assert_allclose(gaps, [10.0, 30.0])
+
+    def test_interval_after_mask_checks_length(self):
+        t = ladder_trace()
+        with pytest.raises(ValueError, match="length"):
+            interval_after_mask(t, np.ones(3, dtype=bool))
+
+    def test_interval_after_mask_short_trace(self):
+        t = BlockTrace([0.0], [0], [8], [0])
+        assert interval_after_mask(t, np.array([True])).size == 0
+
+    def test_fractions(self):
+        t = ladder_trace()
+        assert read_fraction(t) == pytest.approx(3 / 5)
+        # Sequential only at index 1 (8 == 0+8) and 3 (108 == 100+8).
+        assert sequentiality_fraction(t) == pytest.approx(2 / 5)
+
+    def test_fractions_on_empty(self):
+        t = BlockTrace([], [], [], [])
+        assert read_fraction(t) == 0.0
+        assert sequentiality_fraction(t) == 0.0
+
+    def test_summarize_pattern(self):
+        s = summarize_pattern(ladder_trace())
+        assert s.n_requests == 5
+        assert s.mean_intt_us == pytest.approx(25.0)
+        assert s.median_intt_us == pytest.approx(25.0)
+        assert s.distinct_sizes == 1
+        assert s.duration_us == pytest.approx(100.0)
+        d = s.as_dict()
+        assert d["n_requests"] == 5
+
+
+class TestStatistics:
+    def test_trace_statistics_values(self):
+        t = ladder_trace()
+        st = trace_statistics(t)
+        assert st.n_requests == 5
+        assert st.mean_request_kb == pytest.approx(4.0)
+        assert st.total_gb == pytest.approx(5 * 8 * 512 / 1024**3)
+        assert st.iops == pytest.approx(5 / (100e-6))
+        assert st.as_dict()["name"] == "ladder"
+
+    def test_workload_table_aggregates(self):
+        traces = [ladder_trace(), ladder_trace()]
+        row = workload_table(traces, workload="ladder", category="test")
+        assert row.n_traces == 2
+        assert row.avg_data_size_kb == pytest.approx(4.0)
+        assert row.total_size_gb == pytest.approx(2 * 5 * 8 * 512 / 1024**3)
+
+    def test_workload_table_empty(self):
+        row = workload_table([], workload="none")
+        assert row.n_traces == 0
+        assert row.avg_data_size_kb == 0.0
+
+    def test_workload_table_weighted_mean(self):
+        small = BlockTrace([0.0, 1.0], [0, 8], [8, 8], [0, 0])
+        big = BlockTrace([0.0, 1.0], [0, 64], [64, 64], [0, 0])
+        row = workload_table([small, big], workload="mix")
+        # 2 requests of 8 sectors + 2 of 64 => mean 36 sectors = 18 KB.
+        assert row.avg_data_size_kb == pytest.approx(18.0)

@@ -1,0 +1,195 @@
+"""Unit tests for the trace parsers and writers (round trips included)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    BlockTrace,
+    OpType,
+    TraceParseError,
+    dump_trace,
+    load_trace,
+    parse_fiu,
+    parse_internal,
+    parse_msps,
+    parse_msrc,
+    write_blktrace_text,
+    write_csv,
+    write_msrc,
+)
+
+
+class TestMsrcParser:
+    LINES = [
+        "128166372003061629,host,0,Read,4096,8192,1200",
+        "128166372013061629,host,0,Write,8192,4096,800",
+    ]
+
+    def test_parses_and_rebases(self):
+        t = parse_msrc(self.LINES)
+        assert len(t) == 2
+        assert t.timestamps[0] == 0.0
+        # Second row is 1e7 ticks = 1e6 us later.
+        assert t.timestamps[1] == pytest.approx(1e6)
+
+    def test_converts_bytes_to_sectors(self):
+        t = parse_msrc(self.LINES)
+        assert t.lbas[0] == 4096 // 512
+        assert t.sizes[0] == 8192 // 512
+
+    def test_response_time_becomes_device_time(self):
+        t = parse_msrc(self.LINES)
+        assert t.has_device_times
+        assert t.device_times()[0] == pytest.approx(120.0)  # 1200 ticks = 120 us
+
+    def test_skips_comments_and_blanks(self):
+        t = parse_msrc(["# header", "", *self.LINES])
+        assert len(t) == 2
+
+    def test_bad_field_count(self):
+        with pytest.raises(TraceParseError, match="7"):
+            parse_msrc(["1,2,3"])
+
+    def test_bad_number(self):
+        with pytest.raises(TraceParseError):
+            parse_msrc(["notanumber,host,0,Read,0,512,1"])
+
+    def test_non_positive_size(self):
+        with pytest.raises(TraceParseError, match="size"):
+            parse_msrc(["1,host,0,Read,0,0,1"])
+
+
+class TestFiuParser:
+    LINES = [
+        "1225448400.000000 123 proc 1000 8 W 8 1 abcdef",
+        "1225448400.001000 123 proc 1008 8 R 8 1 abcdef",
+    ]
+
+    def test_parses(self):
+        t = parse_fiu(self.LINES)
+        assert len(t) == 2
+        assert not t.has_device_times
+        assert t.ops[0] == int(OpType.WRITE)
+        assert t.timestamps[1] - t.timestamps[0] == pytest.approx(1000.0)
+
+    def test_md5_optional(self):
+        t = parse_fiu(["1.0 1 p 0 8 R 8 1"])
+        assert len(t) == 1
+
+    def test_too_few_fields(self):
+        with pytest.raises(TraceParseError):
+            parse_fiu(["1.0 1 p 0 8"])
+
+
+class TestMspsParser:
+    LINES = ["0.0 150.0 R 0 8", "200.0 900.0 W 8 16"]
+
+    def test_parses_with_device_times(self):
+        t = parse_msps(self.LINES)
+        assert t.has_device_times
+        np.testing.assert_allclose(t.device_times(), [150.0, 700.0])
+
+    def test_completion_before_issue_rejected(self):
+        with pytest.raises(TraceParseError, match="precedes"):
+            parse_msps(["100.0 50.0 R 0 8"])
+
+
+class TestInternalRoundTrip:
+    def _round_trip(self, trace: BlockTrace) -> BlockTrace:
+        buffer = io.StringIO()
+        write_csv(trace, buffer)
+        buffer.seek(0)
+        return parse_internal(buffer, name=trace.name)
+
+    def test_round_trip_plain(self):
+        t = BlockTrace([0.0, 10.0], [0, 8], [8, 16], [0, 1], name="x")
+        r = self._round_trip(t)
+        np.testing.assert_allclose(r.timestamps, t.timestamps)
+        np.testing.assert_array_equal(r.sizes, t.sizes)
+        np.testing.assert_array_equal(r.ops, t.ops)
+
+    def test_round_trip_with_device_and_sync(self):
+        t = BlockTrace(
+            [0.0, 10.0],
+            [0, 8],
+            [8, 16],
+            [0, 1],
+            issues=[1.0, 11.0],
+            completes=[5.0, 30.0],
+            syncs=[True, False],
+            name="x",
+        )
+        r = self._round_trip(t)
+        assert r.has_device_times and r.has_sync_flags
+        np.testing.assert_allclose(r.device_times(), t.device_times())
+        assert r.syncs is not None
+        assert list(r.syncs) == [True, False]
+
+    def test_empty_round_trip(self):
+        t = BlockTrace([], [], [], [])
+        assert len(self._round_trip(t)) == 0
+
+    def test_bad_header(self):
+        with pytest.raises(TraceParseError, match="header"):
+            parse_internal(["foo,bar,baz,qux", "1,2,3,R"])
+
+
+class TestMsrcWriter:
+    def test_msrc_round_trip(self):
+        t = BlockTrace(
+            [0.0, 1000.0],
+            [8, 16],
+            [8, 8],
+            [0, 1],
+            issues=[0.0, 1000.0],
+            completes=[120.0, 1500.0],
+            name="host",
+        )
+        buffer = io.StringIO()
+        write_msrc(t, buffer)
+        buffer.seek(0)
+        r = parse_msrc(buffer)
+        np.testing.assert_allclose(r.timestamps, t.timestamps, atol=0.2)
+        np.testing.assert_allclose(r.device_times(), t.device_times(), atol=0.2)
+
+    def test_msrc_writer_needs_device_times(self):
+        t = BlockTrace([0.0], [0], [8], [0])
+        with pytest.raises(ValueError, match="stamps"):
+            write_msrc(t, io.StringIO())
+
+
+class TestBlktraceWriter:
+    def test_emits_dispatch_and_complete_lines(self):
+        t = BlockTrace(
+            [0.0], [8], [8], [0], issues=[0.0], completes=[100.0], name="x"
+        )
+        buffer = io.StringIO()
+        write_blktrace_text(t, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        assert " D R 8 + 8" in lines[0]
+        assert " C R 8 + 8" in lines[1]
+
+
+class TestFileIO:
+    def test_dump_and_load(self, tmp_path):
+        t = BlockTrace([0.0, 5.0], [0, 8], [8, 8], [0, 1], name="disk0")
+        path = dump_trace(t, tmp_path / "disk0.csv")
+        loaded = load_trace(path, fmt="internal")
+        assert loaded.name == "disk0"
+        assert len(loaded) == 2
+
+    def test_load_unknown_format(self, tmp_path):
+        p = tmp_path / "x.csv"
+        p.write_text("")
+        with pytest.raises(ValueError, match="unknown trace format"):
+            load_trace(p, fmt="nope")
+
+    def test_dump_unknown_format(self, tmp_path):
+        t = BlockTrace([0.0], [0], [8], [0])
+        with pytest.raises(ValueError, match="unknown trace format"):
+            dump_trace(t, tmp_path / "x", fmt="nope")

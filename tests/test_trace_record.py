@@ -1,0 +1,90 @@
+"""Unit tests for IORecord and OpType."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import SECTOR_BYTES, IORecord, OpType
+
+
+class TestOpType:
+    def test_from_str_read_spellings(self):
+        for text in ("R", "r", "Read", "READ", "0"):
+            assert OpType.from_str(text) is OpType.READ
+
+    def test_from_str_write_spellings(self):
+        for text in ("W", "w", "Write", "WRITE", "1"):
+            assert OpType.from_str(text) is OpType.WRITE
+
+    def test_from_str_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            OpType.from_str("trim")
+
+    def test_to_char_round_trips(self):
+        for op in OpType:
+            assert OpType.from_str(op.to_char()) is op
+
+    def test_int_values_are_stable(self):
+        # Columnar storage relies on these exact codes.
+        assert int(OpType.READ) == 0
+        assert int(OpType.WRITE) == 1
+
+
+class TestIORecord:
+    def test_basic_construction(self):
+        r = IORecord(timestamp=10.0, lba=100, size=8, op=OpType.READ)
+        assert r.bytes == 8 * SECTOR_BYTES
+        assert r.end_lba == 108
+        assert r.is_read() and not r.is_write()
+
+    def test_device_time_requires_both_stamps(self):
+        r = IORecord(timestamp=0.0, lba=0, size=8, op=OpType.WRITE)
+        assert r.device_time is None
+        r2 = IORecord(timestamp=0.0, lba=0, size=8, op=OpType.WRITE, issue=5.0, complete=25.0)
+        assert r2.device_time == pytest.approx(20.0)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError, match="size"):
+            IORecord(timestamp=0.0, lba=0, size=0, op=OpType.READ)
+
+    def test_rejects_negative_lba(self):
+        with pytest.raises(ValueError, match="lba"):
+            IORecord(timestamp=0.0, lba=-1, size=8, op=OpType.READ)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            IORecord(timestamp=-1.0, lba=0, size=8, op=OpType.READ)
+
+    def test_rejects_completion_before_issue(self):
+        with pytest.raises(ValueError, match="precedes"):
+            IORecord(timestamp=0.0, lba=0, size=8, op=OpType.READ, issue=10.0, complete=5.0)
+
+    def test_shifted_moves_all_stamps(self):
+        r = IORecord(timestamp=10.0, lba=0, size=8, op=OpType.READ, issue=12.0, complete=20.0)
+        s = r.shifted(100.0)
+        assert s.timestamp == 110.0
+        assert s.issue == 112.0
+        assert s.complete == 120.0
+        assert s.lba == r.lba and s.size == r.size and s.op == r.op
+
+    def test_shifted_preserves_missing_stamps(self):
+        r = IORecord(timestamp=10.0, lba=0, size=8, op=OpType.READ)
+        s = r.shifted(5.0)
+        assert s.issue is None and s.complete is None
+
+    def test_contiguous_with(self):
+        a = IORecord(timestamp=0.0, lba=100, size=8, op=OpType.READ)
+        b = IORecord(timestamp=1.0, lba=108, size=8, op=OpType.READ)
+        c = IORecord(timestamp=2.0, lba=120, size=8, op=OpType.READ)
+        assert b.contiguous_with(a)
+        assert not c.contiguous_with(b)
+
+    def test_records_are_immutable(self):
+        r = IORecord(timestamp=0.0, lba=0, size=8, op=OpType.READ)
+        with pytest.raises(AttributeError):
+            r.lba = 5  # type: ignore[misc]
+
+    def test_sync_flag_kept(self):
+        r = IORecord(timestamp=0.0, lba=0, size=8, op=OpType.READ, sync=False)
+        assert r.sync is False
+        assert r.shifted(1.0).sync is False

@@ -1,0 +1,99 @@
+"""Unit tests for the 31-workload catalog (Table I shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    FIU_WORKLOADS,
+    MSPS_WORKLOADS,
+    MSRC_WORKLOADS,
+    TABLE1_N_TRACES,
+    WORKLOAD_SPECS,
+    get_spec,
+    spec_variants,
+    workload_names,
+)
+
+
+class TestCatalogShape:
+    def test_thirty_one_workloads(self):
+        assert len(ALL_WORKLOADS) == 31
+
+    def test_family_sizes(self):
+        assert len(MSPS_WORKLOADS) == 8
+        assert len(FIU_WORKLOADS) == 10
+        assert len(MSRC_WORKLOADS) == 13
+
+    def test_trace_counts_sum_to_577(self):
+        # Table I: FIU + MSPS + MSRC contain 577 block traces total.
+        assert sum(TABLE1_N_TRACES.values()) == 577
+
+    def test_every_workload_has_trace_count(self):
+        assert set(TABLE1_N_TRACES) == set(ALL_WORKLOADS)
+
+    @pytest.mark.parametrize(
+        "name,avg_kb",
+        [("24HR", 8.27), ("DAP", 74.42), ("ikki", 4.64), ("src2", 40.9), ("web", 7.0)],
+    )
+    def test_average_sizes_match_table1(self, name, avg_kb):
+        assert get_spec(name).size_mix.mean_kb() == pytest.approx(avg_kb, rel=0.15)
+
+    def test_categories_assigned(self):
+        for name in MSPS_WORKLOADS:
+            assert WORKLOAD_SPECS[name].category == "MSPS"
+        for name in FIU_WORKLOADS:
+            assert WORKLOAD_SPECS[name].category == "FIU"
+        for name in MSRC_WORKLOADS:
+            assert WORKLOAD_SPECS[name].category == "MSRC"
+
+
+class TestIdleShapes:
+    def test_msps_idles_frequent_but_short(self):
+        msps = get_spec("CFS").idle
+        fiu = get_spec("ikki").idle
+        assert msps.idle_fraction > fiu.idle_fraction
+        assert msps.idle_median_us < fiu.idle_median_us
+
+    def test_outlier_workloads_have_long_idles(self):
+        # Figure 16 singles out madmax (20.5s), rsrch (69.2s), wdev (403s).
+        assert get_spec("madmax").idle.idle_median_us > get_spec("ikki").idle.idle_median_us
+        assert get_spec("rsrch").idle.idle_median_us > get_spec("mds").idle.idle_median_us
+        assert get_spec("wdev").idle.idle_median_us > get_spec("rsrch").idle.idle_median_us
+
+
+class TestLookup:
+    def test_get_spec_known(self):
+        assert get_spec("MSNFS").name == "MSNFS"
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_spec("nope")
+
+    def test_workload_names_filtering(self):
+        assert set(workload_names("FIU")) == set(FIU_WORKLOADS)
+        assert workload_names() == ALL_WORKLOADS
+        with pytest.raises(ValueError):
+            workload_names("BAD")
+
+    def test_spec_variants_distinct_seeds(self):
+        variants = spec_variants("ikki", count=5)
+        assert len(variants) == 5
+        assert len({v.seed for v in variants}) == 5
+        assert all(v.name == "ikki" for v in variants)
+
+    def test_spec_variants_default_table1_count(self):
+        assert len(spec_variants("proj")) == TABLE1_N_TRACES["proj"]
+
+    def test_spec_variants_validation(self):
+        with pytest.raises(ValueError):
+            spec_variants("ikki", count=0)
+
+    def test_all_specs_generate(self):
+        # Every catalog entry must expand without error at small scale.
+        from repro.workloads import generate_intents
+
+        for name in ALL_WORKLOADS:
+            stream = generate_intents(get_spec(name).scaled(64))
+            assert len(stream) == 64

@@ -1,0 +1,180 @@
+"""Unit tests for workload specs, intent generation, and trace collection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import ConstantLatencyDevice, SATA_600
+from repro.trace import OpType
+from repro.workloads import (
+    IdleProcess,
+    SizeMix,
+    WorkloadSpec,
+    collect_trace,
+    generate_intents,
+)
+
+
+class TestSizeMix:
+    def test_mean_and_probabilities(self):
+        mix = SizeMix(sizes=(8, 16), weights=(1.0, 1.0))
+        assert mix.mean_sectors() == pytest.approx(12.0)
+        assert mix.mean_kb() == pytest.approx(6.0)
+        np.testing.assert_allclose(mix.probabilities, [0.5, 0.5])
+
+    @pytest.mark.parametrize("avg_kb", [4.0, 8.27, 10.71, 28.79, 74.42])
+    def test_for_average_kb_hits_target(self, avg_kb):
+        mix = SizeMix.for_average_kb(avg_kb)
+        assert mix.mean_kb() == pytest.approx(avg_kb, rel=0.15)
+
+    def test_for_average_kb_has_size_variety(self):
+        # The inference model needs at least two sizes per op type.
+        for avg in (4.0, 9.0, 40.0):
+            assert len(SizeMix.for_average_kb(avg).sizes) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeMix(sizes=(), weights=())
+        with pytest.raises(ValueError):
+            SizeMix(sizes=(8,), weights=(-1.0,))
+        with pytest.raises(ValueError):
+            SizeMix(sizes=(0,), weights=(1.0,))
+
+
+class TestIdleProcess:
+    def test_idle_fraction_respected(self, rng):
+        proc = IdleProcess(idle_fraction=0.3, idle_median_us=1e5)
+        flags = [proc.sample_think(rng)[1] for _ in range(5000)]
+        assert np.mean(flags) == pytest.approx(0.3, abs=0.03)
+
+    def test_idles_longer_than_bursts(self, rng):
+        proc = IdleProcess(idle_fraction=0.5, idle_median_us=1e5, cpu_burst_mean_us=40.0)
+        idles, bursts = [], []
+        for _ in range(2000):
+            value, is_idle = proc.sample_think(rng)
+            (idles if is_idle else bursts).append(value)
+        assert np.median(idles) > 100 * np.median(bursts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IdleProcess(idle_fraction=1.5)
+
+
+class TestWorkloadSpec:
+    def test_scaled(self, mixed_spec):
+        assert mixed_spec.scaled(123).n_requests == 123
+        # Other fields unchanged.
+        assert mixed_spec.scaled(123).seed == mixed_spec.seed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", n_requests=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", read_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", address_space_sectors=4)
+
+
+class TestGenerateIntents:
+    def test_deterministic(self, mixed_spec):
+        a = generate_intents(mixed_spec)
+        b = generate_intents(mixed_spec)
+        np.testing.assert_array_equal(a.lbas, b.lbas)
+        np.testing.assert_array_equal(a.thinks, b.thinks)
+
+    def test_read_fraction_approximate(self, mixed_spec):
+        stream = generate_intents(mixed_spec)
+        read_frac = np.mean(stream.ops == int(OpType.READ))
+        assert read_frac == pytest.approx(mixed_spec.read_fraction, abs=0.08)
+
+    def test_async_fraction_approximate(self, mixed_spec):
+        stream = generate_intents(mixed_spec)
+        assert np.mean(~stream.syncs) == pytest.approx(mixed_spec.async_fraction, abs=0.05)
+
+    def test_sequential_continuations_share_op(self, mixed_spec):
+        stream = generate_intents(mixed_spec)
+        seq_mask = stream.lbas[1:] == stream.lbas[:-1] + stream.sizes[:-1]
+        same_op = stream.ops[1:] == stream.ops[:-1]
+        assert same_op[seq_mask].all()
+
+    def test_first_request_has_no_think(self, mixed_spec):
+        stream = generate_intents(mixed_spec)
+        assert stream.thinks[0] == 0.0
+        assert not stream.is_idle[0]
+
+    def test_idle_accounting(self, mixed_spec):
+        stream = generate_intents(mixed_spec)
+        assert stream.idle_count() == int(stream.is_idle.sum())
+        assert stream.total_idle_us() == pytest.approx(stream.thinks[stream.is_idle].sum())
+
+    def test_lbas_within_address_space(self, mixed_spec):
+        stream = generate_intents(mixed_spec)
+        assert (stream.lbas >= 0).all()
+        # Sequential runs may extend a little past a jump target but
+        # must stay within the configured space plus one max run.
+        assert stream.lbas.max() < mixed_spec.address_space_sectors * 1.01
+
+
+class TestCollectTrace:
+    def test_sync_semantics_gap_includes_service(self):
+        # All-sync, no idle: each gap = previous completion + think(0).
+        spec = WorkloadSpec(
+            name="sync",
+            n_requests=50,
+            async_fraction=0.0,
+            idle=IdleProcess(idle_fraction=0.0, cpu_burst_mean_us=10.0),
+            seq_run_continue=0.0,
+            seed=3,
+        )
+        device = ConstantLatencyDevice(SATA_600, read_us=500.0, write_us=500.0)
+        trace = collect_trace(generate_intents(spec), device)
+        gaps = trace.inter_arrival_times()
+        # Every gap must exceed the 500 us device time (sync wait).
+        assert (gaps > 500.0).all()
+
+    def test_async_requests_produce_short_gaps(self):
+        spec = WorkloadSpec(
+            name="async",
+            n_requests=200,
+            async_fraction=1.0,
+            idle=IdleProcess(idle_fraction=0.0, cpu_burst_mean_us=10.0),
+            seq_run_continue=0.0,
+            seed=3,
+        )
+        device = ConstantLatencyDevice(SATA_600, read_us=500.0, write_us=500.0)
+        trace = collect_trace(generate_intents(spec), device)
+        gaps = trace.inter_arrival_times()
+        # Async submitters only pay channel delay + burst, far below 500us.
+        assert np.median(gaps) < 200.0
+
+    def test_device_stamps_optional(self, mixed_spec, const_device):
+        stream = generate_intents(mixed_spec.scaled(100))
+        with_dev = collect_trace(stream, const_device, record_device_times=True)
+        without = collect_trace(stream, const_device, record_device_times=False)
+        assert with_dev.has_device_times
+        assert not without.has_device_times
+        np.testing.assert_allclose(with_dev.timestamps, without.timestamps)
+
+    def test_sync_flags_recorded_when_asked(self, mixed_spec, const_device):
+        stream = generate_intents(mixed_spec.scaled(100))
+        trace = collect_trace(stream, const_device, record_sync_flags=True)
+        assert trace.has_sync_flags
+        assert trace.syncs is not None
+        np.testing.assert_array_equal(trace.syncs, stream.syncs)
+
+    def test_metadata_carries_ground_truth(self, mixed_spec, const_device):
+        stream = generate_intents(mixed_spec.scaled(100))
+        trace = collect_trace(stream, const_device)
+        assert trace.metadata["n_user_idles"] == stream.idle_count()
+        assert trace.metadata["collected_on"] == const_device.name
+
+    def test_same_pattern_different_devices(self, mixed_spec, hdd, flash):
+        # The paper's OLD/NEW methodology: identical request patterns,
+        # different timing.
+        stream = generate_intents(mixed_spec.scaled(300))
+        old = collect_trace(stream, hdd)
+        new = collect_trace(stream, flash)
+        np.testing.assert_array_equal(old.lbas, new.lbas)
+        np.testing.assert_array_equal(old.ops, new.ops)
+        assert old.duration > new.duration  # flash is faster

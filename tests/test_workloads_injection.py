@@ -1,0 +1,86 @@
+"""Unit tests for ground-truth idle injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import BlockTrace
+from repro.workloads import inject_idles
+
+
+def base_trace(n: int = 101) -> BlockTrace:
+    ts = np.arange(n) * 1000.0
+    return BlockTrace(
+        timestamps=ts,
+        lbas=np.arange(n) * 8,
+        sizes=np.full(n, 8),
+        ops=np.zeros(n, dtype=int),
+        issues=ts + 1.0,
+        completes=ts + 500.0,
+        name="base",
+    )
+
+
+class TestInjectIdles:
+    def test_injection_count(self):
+        trace, record = inject_idles(base_trace(), period_us=5000.0, fraction=0.1)
+        assert len(record) == 10
+        assert record.n_gaps == 100
+
+    def test_selected_gaps_grow_by_period(self):
+        original = base_trace()
+        trace, record = inject_idles(original, period_us=5000.0, fraction=0.1)
+        gaps_before = original.inter_arrival_times()
+        gaps_after = trace.inter_arrival_times()
+        np.testing.assert_allclose(gaps_after[record.gap_indices], gaps_before[record.gap_indices] + 5000.0)
+
+    def test_other_gaps_untouched(self):
+        original = base_trace()
+        trace, record = inject_idles(original, period_us=5000.0, fraction=0.1)
+        mask = record.mask()
+        np.testing.assert_allclose(
+            trace.inter_arrival_times()[~mask], original.inter_arrival_times()[~mask]
+        )
+
+    def test_pattern_preserved(self):
+        original = base_trace()
+        trace, __ = inject_idles(original, period_us=100.0)
+        np.testing.assert_array_equal(trace.lbas, original.lbas)
+        np.testing.assert_array_equal(trace.sizes, original.sizes)
+
+    def test_device_stamps_shift_with_requests(self):
+        original = base_trace()
+        trace, __ = inject_idles(original, period_us=100.0)
+        np.testing.assert_allclose(trace.device_times(), original.device_times())
+
+    def test_range_sampling_log_uniform(self):
+        trace, record = inject_idles(base_trace(2001), period_us=(100.0, 100_000.0), fraction=0.5)
+        assert record.periods_us.min() >= 100.0
+        assert record.periods_us.max() <= 100_000.0
+        # Log-uniform: substantial spread across the range.
+        assert record.periods_us.max() / record.periods_us.min() > 10
+
+    def test_deterministic_given_seed(self):
+        a = inject_idles(base_trace(), period_us=100.0, seed=5)[1]
+        b = inject_idles(base_trace(), period_us=100.0, seed=5)[1]
+        np.testing.assert_array_equal(a.gap_indices, b.gap_indices)
+
+    def test_record_helpers(self):
+        __, record = inject_idles(base_trace(), period_us=100.0, fraction=0.1)
+        assert record.mask().sum() == len(record)
+        assert record.period_of_gap().sum() == pytest.approx(record.total_injected_us())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inject_idles(base_trace(1), period_us=100.0)
+        with pytest.raises(ValueError):
+            inject_idles(base_trace(), period_us=0.0)
+        with pytest.raises(ValueError):
+            inject_idles(base_trace(), period_us=100.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            inject_idles(base_trace(), period_us=(100.0, 50.0))
+
+    def test_metadata_annotated(self):
+        trace, record = inject_idles(base_trace(), period_us=100.0)
+        assert trace.metadata["injected_idles"] == len(record)
