@@ -24,7 +24,7 @@ import abc
 
 import numpy as np
 
-from ..replay.replayer import replay_back_to_back, replay_with_idle
+from ..replay.batch import replay_back_to_back_batch, replay_with_idle_batch
 from ..storage.device import StorageDevice
 from ..trace.trace import BlockTrace
 from .config import TraceTrackerConfig
@@ -86,7 +86,7 @@ class Revision(ReconstructionMethod):
     name = "revision"
 
     def reconstruct(self, old_trace: BlockTrace, target: StorageDevice) -> BlockTrace:
-        return replay_back_to_back(old_trace, target, method=self.name).trace
+        return replay_back_to_back_batch(old_trace, target, method=self.name).trace
 
 
 class FixedThreshold(ReconstructionMethod):
@@ -107,7 +107,7 @@ class FixedThreshold(ReconstructionMethod):
     def reconstruct(self, old_trace: BlockTrace, target: StorageDevice) -> BlockTrace:
         gaps = old_trace.inter_arrival_times()
         idle = np.clip(gaps - self.threshold_us, 0.0, None)
-        return replay_with_idle(old_trace, target, idle_us=idle, method=self.name).trace
+        return replay_with_idle_batch(old_trace, target, idle_us=idle, method=self.name).trace
 
 
 class Dynamic(ReconstructionMethod):

@@ -21,8 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..inference.idle import IdleExtraction, extract_idle
+from ..replay.batch import replay_with_idle_batch
 from ..replay.postprocess import detect_async_indices, revive_async
-from ..replay.replayer import replay_with_idle
 from ..storage.device import StorageDevice
 from ..trace.trace import BlockTrace
 from .config import TraceTrackerConfig
@@ -91,7 +91,7 @@ class TraceTracker:
         """
         extraction = self.evaluate_software(old_trace)
         async_indices = detect_async_indices(extraction.tintt_us, extraction.tsdev_us)
-        replay = replay_with_idle(
+        replay = replay_with_idle_batch(
             old_trace, target, idle_us=extraction.tidle_us, method=self.method_name
         )
         new_trace = replay.trace
@@ -99,8 +99,8 @@ class TraceTracker:
             # An async submitter still pays the channel hand-off, so
             # each revived gap is floored at the request's measured
             # channel occupancy on the new device.
-            channel_floor = np.array(
-                [max(c.ack - c.submit, self.config.min_async_gap_us) for c in replay.completions[:-1]]
+            channel_floor = np.maximum(
+                replay.channel_delays()[:-1], self.config.min_async_gap_us
             )
             new_trace = revive_async(
                 new_trace,

@@ -411,20 +411,27 @@ def _verification_sweep(
     TraceTracker on the flash node, then recover idle estimates *from
     the reconstructed trace* (new gap minus new measured device time)
     and score them against the injection record.
+
+    The OLD traces are deterministic in (workload, seed) and shared by
+    every injection period, so they are collected once up front rather
+    than once per period.
     """
     tracker = TraceTracker()
+    old_traces = [
+        collect_trace(
+            generate_intents(_verification_spec(name, n_requests)),
+            old_node(seed=100 + i),
+            record_device_times=known_tsdev,
+        )
+        for i, name in enumerate(workload_names_)
+    ]
     scores: dict[float, VerificationScore] = {}
     for period in periods:
         tp = fp = fn = tn = 0
         len_tp_parts: list[float] = []
         fp_samples: list[np.ndarray] = []
         injected_count = 0
-        for i, name in enumerate(workload_names_):
-            old = collect_trace(
-                generate_intents(_verification_spec(name, n_requests)),
-                old_node(seed=100 + i),
-                record_device_times=known_tsdev,
-            )
+        for i, old in enumerate(old_traces):
             injected, record = inject_idles(old, period_us=period, fraction=0.1, seed=17 + i)
             new = tracker.reconstruct(injected, new_node()).trace
             est_idle = np.clip(

@@ -1,24 +1,66 @@
 """Run the complete evaluation and render one text report.
 
-``python -m repro.experiments.runner [--fast] [--out report.txt]``
-regenerates every table and figure in sequence and writes the combined
-report — the whole of Section V in one command.  The benchmark harness
-does the same per-artefact with timing and shape assertions; this
-runner exists for humans who want the full picture at once.
+``python -m repro.experiments.runner [--fast] [--jobs N] [--out report.txt]``
+regenerates every table and figure and writes the combined report — the
+whole of Section V in one command.  The benchmark harness does the same
+per-artefact with timing and shape assertions; this runner exists for
+humans who want the full picture at once.
+
+The heavy lifting is done by :class:`ParallelRunner`:
+
+- **independent experiments** — each figure/table is a pure function of
+  its parameters, so they execute across a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``--jobs N``; the
+  default of 1 keeps single-core boxes fork-free);
+- **result cache** — every experiment is deterministic in
+  ``(experiment id, n_requests, source code)`` (all seeds are fixed
+  constants of the catalog), so results are pickled under a key that
+  includes a content hash of the ``repro`` package and reused by later
+  runs of the same code; disable with ``--no-cache`` or point the
+  location elsewhere with ``--cache-dir`` / ``$REPRO_CACHE_DIR``;
+- **deterministic report** — the report text contains no wall-clock
+  timings, so sequential, parallel, cached and uncached runs emit
+  byte-identical reports (timings go to stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
+import hashlib
+import os
+import pickle
 import sys
 import time
 from collections.abc import Callable
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import TextIO
 
 from . import figures
 from .reporting import format_cdf_series, format_table
 
-__all__ = ["run_all", "main"]
+__all__ = ["ParallelRunner", "run_all", "main"]
+
+#: Bump when the cache layout itself changes.
+_CACHE_SCHEMA = 1
+
+
+@functools.cache
+def _code_fingerprint() -> str:
+    """Content hash of the ``repro`` package source.
+
+    Folded into every cache key so results cached against one version
+    of the models/figures are never served after the code changes —
+    for a reproduction, a silently stale report is worse than a slow
+    one.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha1()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:12]
 
 #: (experiment id, title, callable returning a result with .rows()).
 _EXPERIMENTS: tuple[tuple[str, str, Callable[[int], object]], ...] = (
@@ -52,30 +94,167 @@ _EXPERIMENTS: tuple[tuple[str, str, Callable[[int], object]], ...] = (
      lambda n: figures.fig17_idle_breakdown(n_requests=max(n // 2, 500))),
 )
 
+_BY_ID = {exp_id: (title, run) for exp_id, title, run in _EXPERIMENTS}
+
+
+def _compute_experiment(exp_id: str, n_requests: int) -> object:
+    """Run one experiment (module-level so worker processes can pickle it)."""
+    __, run = _BY_ID[exp_id]
+    return run(n_requests)
+
+
+def default_cache_dir() -> Path:
+    """Cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-tracetracker``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-tracetracker"
+
+
+class ParallelRunner:
+    """Executes the figure/table experiments, optionally in parallel.
+
+    Parameters
+    ----------
+    n_requests:
+        Requests per generated trace (experiments derive their own
+        scale knobs from it).
+    jobs:
+        Worker processes.  1 (default) runs inline in this process;
+        higher values fan experiments out over a process pool.
+    use_cache:
+        Reuse pickled results keyed by ``(schema, code fingerprint,
+        experiment id, n_requests)``.  Experiments are deterministic in
+        those parameters, so a hit reproduces the run exactly; editing
+        any source under ``repro`` invalidates every entry.
+    cache_dir:
+        Cache location; defaults to :func:`default_cache_dir`.
+    only:
+        Restrict to a subset of experiment ids.
+    """
+
+    def __init__(
+        self,
+        n_requests: int = 4_000,
+        jobs: int = 1,
+        use_cache: bool = False,
+        cache_dir: Path | str | None = None,
+        only: set[str] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if only is not None:
+            unknown = only - set(_BY_ID)
+            if unknown:
+                raise ValueError(f"unknown experiment ids: {sorted(unknown)}")
+        self.n_requests = n_requests
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.only = only
+
+    # -- cache ---------------------------------------------------------
+
+    def _cache_path(self, exp_id: str) -> Path:
+        return self.cache_dir / (
+            f"v{_CACHE_SCHEMA}-{_code_fingerprint()}-{exp_id}-n{self.n_requests}.pkl"
+        )
+
+    def _cache_load(self, exp_id: str) -> object | None:
+        if not self.use_cache:
+            return None
+        path = self._cache_path(exp_id)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # A missing, truncated, corrupted, or schema-incompatible
+            # entry is never fatal — recompute and overwrite it.
+            return None
+
+    def _cache_store(self, exp_id: str, result: object) -> None:
+        if not self.use_cache:
+            return
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            path = self._cache_path(exp_id)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp, path)
+        except (OSError, pickle.PickleError):
+            pass  # caching is best-effort; the result is still returned
+
+    # -- execution -----------------------------------------------------
+
+    def _selected(self) -> list[tuple[str, str]]:
+        return [
+            (exp_id, title)
+            for exp_id, title, __ in _EXPERIMENTS
+            if self.only is None or exp_id in self.only
+        ]
+
+    def results(self, log: TextIO | None = None) -> dict[str, object]:
+        """Compute (or load) every selected experiment's result object.
+
+        Returns results keyed by experiment id, in canonical order
+        regardless of worker completion order.
+        """
+        log = log if log is not None else sys.stderr
+        selected = self._selected()
+        results: dict[str, object] = {}
+        missing: list[str] = []
+        for exp_id, __ in selected:
+            cached = self._cache_load(exp_id)
+            if cached is not None:
+                results[exp_id] = cached
+                log.write(f"[runner] {exp_id}: cache hit\n")
+            else:
+                missing.append(exp_id)
+        if missing:
+            start = time.perf_counter()
+            if self.jobs > 1 and len(missing) > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = {
+                        exp_id: pool.submit(_compute_experiment, exp_id, self.n_requests)
+                        for exp_id in missing
+                    }
+                    for exp_id, future in futures.items():
+                        results[exp_id] = future.result()
+            else:
+                for exp_id in missing:
+                    results[exp_id] = _compute_experiment(exp_id, self.n_requests)
+            log.write(
+                f"[runner] computed {len(missing)} experiment(s) in "
+                f"{time.perf_counter() - start:.1f}s (jobs={self.jobs})\n"
+            )
+            for exp_id in missing:
+                self._cache_store(exp_id, results[exp_id])
+        return {exp_id: results[exp_id] for exp_id, __ in selected}
+
+    def run(self, out: TextIO = sys.stdout, log: TextIO | None = None) -> None:
+        """Compute everything and stream the combined report to ``out``.
+
+        The report text is timing-free and therefore identical across
+        sequential/parallel/cached runs with equal parameters.
+        """
+        results = self.results(log=log)
+        for exp_id, title in self._selected():
+            result = results[exp_id]
+            out.write("\n" + "=" * 72 + "\n")
+            out.write(f"{title}   [{exp_id}]\n")
+            out.write("=" * 72 + "\n")
+            rows = result.rows()  # type: ignore[attr-defined]
+            out.write(format_table(rows) + "\n")
+            series = getattr(result, "series", None)
+            if isinstance(series, dict) and series and isinstance(next(iter(series.values())), list):
+                out.write("\nCDF positions:\n")
+                out.write(format_cdf_series(series) + "\n")
+
 
 def run_all(n_requests: int = 4_000, out: TextIO = sys.stdout, only: set[str] | None = None) -> None:
-    """Run every experiment and stream the report to ``out``.
-
-    ``only`` restricts the run to a subset of experiment ids
-    (``{"fig12", "table1"}``...).
-    """
-    total_start = time.perf_counter()
-    for exp_id, title, run in _EXPERIMENTS:
-        if only is not None and exp_id not in only:
-            continue
-        start = time.perf_counter()
-        result = run(n_requests)
-        elapsed = time.perf_counter() - start
-        out.write("\n" + "=" * 72 + "\n")
-        out.write(f"{title}   [{exp_id}, {elapsed:.1f}s]\n")
-        out.write("=" * 72 + "\n")
-        rows = result.rows()  # type: ignore[attr-defined]
-        out.write(format_table(rows) + "\n")
-        series = getattr(result, "series", None)
-        if isinstance(series, dict) and series and isinstance(next(iter(series.values())), list):
-            out.write("\nCDF positions:\n")
-            out.write(format_cdf_series(series) + "\n")
-    out.write(f"\ntotal: {time.perf_counter() - total_start:.1f}s\n")
+    """Backwards-compatible sequential, cache-free entry point."""
+    ParallelRunner(n_requests=n_requests, jobs=1, use_cache=False, only=only).run(out=out)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,15 +269,37 @@ def main(argv: list[str] | None = None) -> int:
         "--only", type=str, default=None,
         help="comma-separated experiment ids (e.g. fig12,table1)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent experiments (default 1: inline)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-tracetracker)",
+    )
     args = parser.parse_args(argv)
     n = max(500, args.requests // 4) if args.fast else args.requests
     only = set(args.only.split(",")) if args.only else None
+    try:
+        runner = ParallelRunner(
+            n_requests=n,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            only=only,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            run_all(n_requests=n, out=handle, only=only)
+            runner.run(out=handle)
         print(f"report written to {args.out}")
     else:
-        run_all(n_requests=n, only=only)
+        runner.run()
     return 0
 
 

@@ -13,6 +13,7 @@ timing the post-processing stage later restores.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,6 +23,37 @@ from .decompose import InferenceConfig, InferenceReport, estimate_model
 from .model import LatencyModel
 
 __all__ = ["IdleExtraction", "extract_idle", "extract_idle_with_model"]
+
+
+#: Content-keyed memo for inferred latency models.  Model estimation is
+#: a pure function of (trace contents, config); comparison harnesses
+#: routinely run several reconstruction methods over one OLD trace, and
+#: this spares each the repeated inference.  Small and FIFO-bounded.
+_MODEL_MEMO: dict[tuple[bytes, InferenceConfig | None], InferenceReport] = {}
+_MODEL_MEMO_MAX = 32
+
+
+def _trace_digest(trace: BlockTrace) -> bytes:
+    """Cheap content fingerprint of the columns inference reads."""
+    h = hashlib.sha1()
+    for column in (trace.timestamps, trace.lbas, trace.sizes, trace.ops):
+        h.update(np.ascontiguousarray(column).tobytes())
+    if trace.has_device_times:
+        assert trace.issues is not None and trace.completes is not None
+        h.update(np.ascontiguousarray(trace.issues).tobytes())
+        h.update(np.ascontiguousarray(trace.completes).tobytes())
+    return h.digest()
+
+
+def _estimate_model_memo(trace: BlockTrace, config: InferenceConfig | None) -> InferenceReport:
+    key = (_trace_digest(trace), config)
+    report = _MODEL_MEMO.get(key)
+    if report is None:
+        report = estimate_model(trace, config)
+        if len(_MODEL_MEMO) >= _MODEL_MEMO_MAX:
+            _MODEL_MEMO.pop(next(iter(_MODEL_MEMO)))
+        _MODEL_MEMO[key] = report
+    return report
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,7 +163,7 @@ def extract_idle(
             report=None,
             used_measured_tsdev=True,
         )
-    report = estimate_model(trace, config)
+    report = _estimate_model_memo(trace, config)
     extraction = extract_idle_with_model(trace, report.model)
     return IdleExtraction(
         tintt_us=extraction.tintt_us,

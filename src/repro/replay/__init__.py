@@ -1,5 +1,6 @@
 """Hardware emulation substrate: replayer, collector, async post-processing."""
 
+from .batch import replay_back_to_back_batch, replay_with_idle_batch
 from .collector import TraceCollector
 from .qdepth import replay_queue_depth
 from .postprocess import detect_async_indices, revive_async
@@ -11,6 +12,8 @@ __all__ = [
     "revive_async",
     "ReplayResult",
     "replay_back_to_back",
+    "replay_back_to_back_batch",
     "replay_with_idle",
+    "replay_with_idle_batch",
     "replay_queue_depth",
 ]

@@ -106,6 +106,10 @@ def replay_queue_depth(
             clock = completion.ack + float(idle_arr[i])
     return ReplayResult(
         trace=collector.build(),
-        completions=tuple(completions),
         device_name=device.name,
+        submits=np.array([c.submit for c in completions]),
+        acks=np.array([c.ack for c in completions]),
+        starts=np.array([c.start for c in completions]),
+        finishes=np.array([c.finish for c in completions]),
+        completions=tuple(completions),
     )

@@ -15,8 +15,6 @@ would see: submit, issue, and completion stamps per request.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..storage.device import Completion, StorageDevice
@@ -27,27 +25,69 @@ from .collector import TraceCollector
 __all__ = ["ReplayResult", "replay_with_idle", "replay_back_to_back"]
 
 
-@dataclass(frozen=True, slots=True)
 class ReplayResult:
-    """Outcome of a replay run.
+    """Outcome of a replay run, stamp columns in array form.
 
     Attributes
     ----------
     trace:
         The newly collected block trace (with measured device times).
-    completions:
-        Per-request :class:`Completion` stamps, aligned with the trace.
     device_name:
         The device the replay ran against.
+    submits, acks, starts, finishes:
+        Per-request timing columns (µs), aligned with the trace — the
+        four stamps of a :class:`~repro.storage.device.Completion`.
+        Both the scalar and the vectorised batch replay engines fill
+        these; the row-wise ``completions`` view is materialised only
+        on demand.
     """
 
-    trace: BlockTrace
-    completions: tuple[Completion, ...]
-    device_name: str
+    __slots__ = ("trace", "device_name", "submits", "acks", "starts", "finishes", "_completions")
+
+    def __init__(
+        self,
+        trace: BlockTrace,
+        device_name: str,
+        submits: np.ndarray,
+        acks: np.ndarray,
+        starts: np.ndarray,
+        finishes: np.ndarray,
+        completions: tuple[Completion, ...] | None = None,
+    ) -> None:
+        self.trace = trace
+        self.device_name = device_name
+        self.submits = np.asarray(submits, dtype=np.float64)
+        self.acks = np.asarray(acks, dtype=np.float64)
+        self.starts = np.asarray(starts, dtype=np.float64)
+        self.finishes = np.asarray(finishes, dtype=np.float64)
+        self._completions = completions
+
+    @property
+    def completions(self) -> tuple[Completion, ...]:
+        """Row-wise completion stamps (materialised lazily)."""
+        if self._completions is None:
+            self._completions = tuple(
+                Completion(submit=s, start=st, ack=a, finish=f)
+                for s, st, a, f in zip(
+                    self.submits.tolist(),
+                    self.starts.tolist(),
+                    self.acks.tolist(),
+                    self.finishes.tolist(),
+                )
+            )
+        return self._completions
 
     def device_times(self) -> np.ndarray:
         """Measured per-request device times on the new hardware."""
-        return np.array([c.device_time for c in self.completions])
+        return self.finishes - self.starts
+
+    def latencies(self) -> np.ndarray:
+        """End-to-end per-request latencies ``finish - submit``."""
+        return self.finishes - self.submits
+
+    def channel_delays(self) -> np.ndarray:
+        """Per-request host-interface occupancy ``ack - submit``."""
+        return self.acks - self.submits
 
 
 def replay_with_idle(
@@ -118,8 +158,12 @@ def replay_with_idle(
             clock = completion.finish + float(idle_arr[i])
     return ReplayResult(
         trace=collector.build(),
-        completions=tuple(completions),
         device_name=device.name,
+        submits=np.array([c.submit for c in completions]),
+        acks=np.array([c.ack for c in completions]),
+        starts=np.array([c.start for c in completions]),
+        finishes=np.array([c.finish for c in completions]),
+        completions=tuple(completions),
     )
 
 

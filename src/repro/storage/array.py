@@ -14,6 +14,8 @@ channel delay is the per-SSD delay, not the sum).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..trace.record import OpType
 from .channel import PCIE3_X4, InterfaceChannel
 from .device import StorageDevice
@@ -87,15 +89,77 @@ class FlashArray(StorageDevice):
         return out
 
     def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
-        start = t_ready
+        # Inline fragment walk (same splitting as _fragments) — this is
+        # the replay hot path, so no intermediate tuple list.
+        ss = self.stripe_sectors
+        n = self.n_ssds
+        ssds = self.ssds
         finish = t_ready
-        for ssd_index, frag_lba, frag_size in self._fragments(lba, size):
-            __, frag_finish = self.ssds[ssd_index]._service(op, frag_lba, frag_size, t_ready)
-            finish = max(finish, frag_finish)
-        return start, finish
+        cursor = lba
+        remaining = size
+        while remaining > 0:
+            stripe = cursor // ss
+            chunk = ss - (cursor - stripe * ss)
+            if chunk > remaining:
+                chunk = remaining
+            __, frag_finish = ssds[stripe % n]._service(op, cursor, chunk, t_ready)
+            if frag_finish > finish:
+                finish = frag_finish
+            cursor += chunk
+            remaining -= chunk
+        return t_ready, finish
 
     def _expected_service(self, op: OpType, size: int, sequential: bool) -> float:
         """Nominal latency: the slowest fragment of an even striping."""
         n_frags = min(self.n_ssds, max(1, (size + self.stripe_sectors - 1) // self.stripe_sectors))
         per_ssd = -(-size // n_frags)  # ceiling division
         return self.ssds[0]._expected_service(op, per_ssd, sequential)
+
+    def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:
+        """Batch-capable when members are, and no request revisits an SSD.
+
+        Fragments of one extent land on distinct members as long as the
+        extent spans at most ``n_ssds`` stripes; beyond that, same-SSD
+        fragments queue behind each other and the array latency is no
+        longer the max of independent fragment latencies.
+        """
+        if not self.ssds[0].supports_batch(ops, lbas, sizes):
+            return False
+        lbas = np.asarray(lbas, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        ss = self.stripe_sectors
+        spans = (lbas + sizes - 1) // ss - lbas // ss + 1
+        return bool(np.all(spans <= self.n_ssds))
+
+    def _service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        # Fragments keep the global LBA (see _fragments) and every
+        # member shares one geometry, so one member's relative-service
+        # memo prices every fragment; the array latency is the slowest
+        # fragment, exactly as the scalar path computes it.
+        g = self.ssds[0].geometry
+        rel_entry = self.ssds[0]._rel_entry
+        ss = self.stripe_sectors
+        page_sectors = g.page_sectors
+        out = np.empty(len(lbas), dtype=np.float64)
+        ops_l = np.asarray(ops).tolist()
+        lbas_l = np.asarray(lbas, dtype=np.int64).tolist()
+        sizes_l = np.asarray(sizes, dtype=np.int64).tolist()
+        read, write = OpType.READ, OpType.WRITE
+        for i in range(len(out)):
+            op = read if ops_l[i] == 0 else write
+            cursor, remaining = lbas_l[i], sizes_l[i]
+            svc = 0.0
+            while remaining > 0:
+                within = cursor % ss
+                chunk = min(remaining, ss - within)
+                first_page = cursor // page_sectors
+                n_pages = (cursor + chunk - 1) // page_sectors - first_page + 1
+                frag = rel_entry(op, first_page, n_pages, chunk).svc
+                if frag > svc:
+                    svc = frag
+                cursor += chunk
+                remaining -= chunk
+            out[i] = svc
+        return out

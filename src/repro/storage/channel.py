@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..trace.record import SECTOR_BYTES, OpType
 
 __all__ = ["InterfaceChannel", "SATA_300", "SATA_600", "PCIE3_X4"]
@@ -55,6 +57,22 @@ class InterfaceChannel:
         """:math:`T_{cdel}` for one request: overhead + payload transfer."""
         overhead = self.read_overhead_us if op is OpType.READ else self.write_overhead_us
         return overhead + self.transfer_us(size_sectors)
+
+    def delay_batch_us(self, ops: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        """Vectorised :math:`T_{cdel}` for a whole request stream.
+
+        Element ``i`` equals ``delay_us(ops[i], sizes[i])`` bit-for-bit:
+        the same IEEE-754 operations are applied elementwise, so batch
+        and scalar replay paths agree exactly.
+        """
+        ops = np.asarray(ops)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if np.any(sizes < 0):
+            raise ValueError("size must be non-negative")
+        overhead = np.where(
+            ops == int(OpType.READ), self.read_overhead_us, self.write_overhead_us
+        )
+        return overhead + sizes * SECTOR_BYTES / self.bandwidth_mb_s
 
 
 #: SATA II (3 Gbit/s): the decade-old server interface of the OLD nodes.

@@ -13,6 +13,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..trace.record import OpType
 from .channel import InterfaceChannel
 
@@ -118,6 +120,64 @@ class StorageDevice(abc.ABC):
         """Return the device to its cold state (subclasses extend)."""
         self._last_submit = float("-inf")
 
+    # ------------------------------------------------------------------
+    # batch service API (the vectorised replay engine's device contract)
+    # ------------------------------------------------------------------
+
+    #: ``True`` for devices whose queueing is a single FIFO server whose
+    #: state is fully described by one "busy until" stamp.  Such devices
+    #: admit a closed-form collection recurrence (see
+    #: :func:`repro.workloads.generator.collect_trace`).
+    fifo_single_server: bool = False
+
+    def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:
+        """Whether :meth:`service_batch` can service this exact stream.
+
+        Must be *pure*: no simulator state (RNG, head position, buffer
+        occupancy) may be consumed.  A device answers ``False`` whenever
+        its per-request latency for the stream would depend on the
+        actual submission instants (e.g. background write-buffer drains
+        overlapping later requests) rather than on the request order
+        alone.
+        """
+        return False
+
+    def service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray | None:
+        """Vectorised service times for an in-order request stream.
+
+        Contract (the ``service_batch`` device-author contract):
+
+        - Element ``i`` of the returned array is ``finish - start`` for
+          request ``i`` when the stream is submitted in order with each
+          request arriving at or after the previous request's ``finish``
+          (the synchronous-replay precondition, under which the device
+          is idle at every arrival).
+        - The result must not depend on the actual arrival instants —
+          only on the request order.  Devices whose latencies are not
+          gap-invariant for this stream return ``None`` *without
+          consuming any state*, and the caller falls back to the scalar
+          :meth:`submit` path.
+        - On success the call consumes the *order-dependent* simulator
+          state the equivalent scalar submissions would (RNG draws,
+          head position, mirror round-robin).  Timing state
+          (busy-until stamps) is left unspecified, since the device
+          never learned the arrival instants — so :meth:`reset` before
+          calling, and reset again before mixing with :meth:`submit`.
+        - Values must match the scalar path bit-for-bit: use the same
+          elementwise IEEE-754 operations the scalar ``_service`` does.
+        """
+        if not self.supports_batch(ops, lbas, sizes):
+            return None
+        return self._service_batch(ops, lbas, sizes)
+
+    def _service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Batch kernel; only called when :meth:`supports_batch` is true."""
+        raise NotImplementedError
+
     def service_time_us(self, op: OpType, size: int, sequential: bool) -> float:
         """Stateless *expected* :math:`T_{sdev}` for a request shape.
 
@@ -155,11 +215,21 @@ class ConstantLatencyDevice(StorageDevice):
     def name(self) -> str:
         return f"const({self.read_us}/{self.write_us}us)"
 
+    fifo_single_server = True
+
     def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
         start = max(t_ready, self._busy_until)
         finish = start + (self.read_us if op is OpType.READ else self.write_us)
         self._busy_until = finish
         return start, finish
+
+    def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:
+        return True
+
+    def _service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        return np.where(np.asarray(ops) == int(OpType.READ), self.read_us, self.write_us)
 
     def _expected_service(self, op: OpType, size: int, sequential: bool) -> float:
         return self.read_us if op is OpType.READ else self.write_us

@@ -168,12 +168,63 @@ class HDDModel(StorageDevice):
             ) + transfer
             self._busy_until = finish
         else:
-            mechanical = self._mechanical_us(lba, sequential)
-            finish = start + mechanical + transfer
+            # One fused add of (mechanical + transfer) so the scalar and
+            # vectorised batch paths round identically.
+            finish = start + (self._mechanical_us(lba, sequential) + transfer)
             self._busy_until = finish
         self._head_cylinder = self.geometry.cylinder_of(lba + size - 1)
         self._last_end_lba = lba + size
         return start, finish
+
+    fifo_single_server = True
+
+    def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:
+        """Gap-invariant unless the write-back cache is enabled.
+
+        With the cache on, admission depends on how far the drain
+        backlog runs ahead of *wall-clock* submission times, so
+        latencies are no longer a function of request order alone.
+        """
+        return self.write_back_cache_kb == 0
+
+    def _service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised seek/rotation/transfer model.
+
+        Reproduces the scalar :meth:`_service` arithmetic elementwise —
+        including the order of the rotational-phase RNG draws (one per
+        non-sequential request) — so results are bit-identical.
+        """
+        g = self.geometry
+        lbas = np.asarray(lbas, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        n = len(lbas)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        ends = lbas + sizes
+        prev_end = np.concatenate([[self._last_end_lba], ends[:-1]])
+        sequential = lbas == prev_end
+        end_cyl = np.minimum((ends - 1) // g.sectors_per_cylinder, g.cylinders - 1)
+        head = np.concatenate([[self._head_cylinder], end_cyl[:-1]])
+        target = np.minimum(lbas // g.sectors_per_cylinder, g.cylinders - 1)
+        distance = np.abs(target - head)
+        avg_distance = max(1.0, g.cylinders / 3.0)
+        k = (g.avg_seek_ms - g.track_to_track_ms) * 1e3 / np.sqrt(avg_distance)
+        seek = np.where(
+            distance == 0, 0.0, g.track_to_track_ms * 1e3 + k * np.sqrt(distance)
+        )
+        rotation = np.zeros(n, dtype=np.float64)
+        non_seq = ~sequential
+        n_draws = int(non_seq.sum())
+        if n_draws:
+            # Same generator stream as n scalar uniform() calls.
+            rotation[non_seq] = self._rng.uniform(0.0, g.rotation_us, n_draws)
+        mechanical = np.where(sequential, 0.0, seek + rotation)
+        svc = mechanical + sizes * g.transfer_us_per_sector
+        self._head_cylinder = int(end_cyl[-1])
+        self._last_end_lba = int(ends[-1])
+        return svc
 
     def _cache_fits(self, size: int, now: float, cache_bytes: int) -> bool:
         """Crude cache admission: accept while the drain backlog is short.

@@ -19,11 +19,23 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from ..trace.record import OpType
 from .channel import InterfaceChannel
 from .device import StorageDevice
 
 __all__ = ["Raid0", "Raid1"]
+
+
+def _scatter_max(
+    out: np.ndarray, member_svcs: list[tuple[list[int], np.ndarray]]
+) -> np.ndarray:
+    """Combine per-member fragment services into per-request maxima."""
+    for request_indices, svc in member_svcs:
+        if len(request_indices):
+            np.maximum.at(out, np.asarray(request_indices, dtype=np.intp), svc)
+    return out
 
 
 class _RaidBase(StorageDevice):
@@ -97,6 +109,75 @@ class Raid0(_RaidBase):
             finish = max(finish, frag_finish)
         return t_ready, finish
 
+    def _member_streams(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> list[tuple[list[int], list[int], list[int], list[int]]] | None:
+        """Per-member ``(request_idx, ops, lbas, sizes)`` fragment streams.
+
+        ``None`` when some extent spans more stripes than there are
+        members — its same-member fragments would queue behind each
+        other, breaking the max-of-independent-fragments combination.
+        """
+        n_members = len(self.members)
+        streams: list[tuple[list[int], list[int], list[int], list[int]]] = [
+            ([], [], [], []) for _ in range(n_members)
+        ]
+        ops_l = np.asarray(ops).tolist()
+        lbas_l = np.asarray(lbas, dtype=np.int64).tolist()
+        sizes_l = np.asarray(sizes, dtype=np.int64).tolist()
+        for i in range(len(ops_l)):
+            frags = self._fragments(lbas_l[i], sizes_l[i])
+            if len(frags) > n_members:
+                return None
+            for member_index, local_lba, local_size in frags:
+                idx, f_ops, f_lbas, f_sizes = streams[member_index]
+                idx.append(i)
+                f_ops.append(ops_l[i])
+                f_lbas.append(local_lba)
+                f_sizes.append(local_size)
+        return streams
+
+    def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:
+        streams = self._member_streams(ops, lbas, sizes)
+        if streams is None:
+            return False
+        return all(
+            member.supports_batch(
+                np.asarray(s[1], dtype=np.int8),
+                np.asarray(s[2], dtype=np.int64),
+                np.asarray(s[3], dtype=np.int64),
+            )
+            for member, s in zip(self.members, streams)
+        )
+
+    def service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray | None:
+        # Overrides the gate-then-price split so the fragment streams
+        # are computed once, not once per phase.
+        streams = self._member_streams(ops, lbas, sizes)
+        if streams is None:
+            return None
+        member_streams = [
+            (
+                s[0],
+                np.asarray(s[1], dtype=np.int8),
+                np.asarray(s[2], dtype=np.int64),
+                np.asarray(s[3], dtype=np.int64),
+            )
+            for s in streams
+        ]
+        if not all(
+            member.supports_batch(f_ops, f_lbas, f_sizes)
+            for member, (__, f_ops, f_lbas, f_sizes) in zip(self.members, member_streams)
+        ):
+            return None
+        member_svcs = [
+            (idx, member._service_batch(f_ops, f_lbas, f_sizes))
+            for member, (idx, f_ops, f_lbas, f_sizes) in zip(self.members, member_streams)
+        ]
+        return _scatter_max(np.zeros(len(ops), dtype=np.float64), member_svcs)
+
 
 class Raid1(_RaidBase):
     """Mirrored pair (or wider mirror set).
@@ -143,3 +224,72 @@ class Raid1(_RaidBase):
             __, member_finish = member._service(op, lba, size, t_ready)
             finish = max(finish, member_finish)
         return t_ready, finish
+
+    def _member_streams(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray, counter: int
+    ) -> list[tuple[list[int], list[int], list[int], list[int]]]:
+        """Per-member substreams: each read on its chosen mirror, writes on all."""
+        n_members = len(self.members)
+        streams: list[tuple[list[int], list[int], list[int], list[int]]] = [
+            ([], [], [], []) for _ in range(n_members)
+        ]
+        ops_l = np.asarray(ops).tolist()
+        lbas_l = np.asarray(lbas, dtype=np.int64).tolist()
+        sizes_l = np.asarray(sizes, dtype=np.int64).tolist()
+        read = int(OpType.READ)
+        for i in range(len(ops_l)):
+            if ops_l[i] == read:
+                if self._read_policy is not None:
+                    member = self._read_policy(lbas_l[i], n_members) % n_members
+                else:
+                    member = counter % n_members
+                    counter += 1
+                targets: tuple[int, ...] = (member,)
+            else:
+                targets = tuple(range(n_members))
+            for member_index in targets:
+                idx, f_ops, f_lbas, f_sizes = streams[member_index]
+                idx.append(i)
+                f_ops.append(ops_l[i])
+                f_lbas.append(lbas_l[i])
+                f_sizes.append(sizes_l[i])
+        return streams
+
+    def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:
+        streams = self._member_streams(ops, lbas, sizes, self._read_counter)
+        return all(
+            member.supports_batch(
+                np.asarray(s[1], dtype=np.int8),
+                np.asarray(s[2], dtype=np.int64),
+                np.asarray(s[3], dtype=np.int64),
+            )
+            for member, s in zip(self.members, streams)
+        )
+
+    def service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray | None:
+        # Single-pass override (see Raid0.service_batch); the read
+        # counter only advances once the whole stream is accepted.
+        streams = self._member_streams(ops, lbas, sizes, self._read_counter)
+        member_streams = [
+            (
+                s[0],
+                np.asarray(s[1], dtype=np.int8),
+                np.asarray(s[2], dtype=np.int64),
+                np.asarray(s[3], dtype=np.int64),
+            )
+            for s in streams
+        ]
+        if not all(
+            member.supports_batch(f_ops, f_lbas, f_sizes)
+            for member, (__, f_ops, f_lbas, f_sizes) in zip(self.members, member_streams)
+        ):
+            return None
+        if self._read_policy is None:
+            self._read_counter += int(np.sum(np.asarray(ops) == int(OpType.READ)))
+        member_svcs = [
+            (idx, member._service_batch(f_ops, f_lbas, f_sizes))
+            for member, (idx, f_ops, f_lbas, f_sizes) in zip(self.members, member_streams)
+        ]
+        return _scatter_max(np.zeros(len(ops), dtype=np.float64), member_svcs)

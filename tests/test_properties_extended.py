@@ -10,7 +10,7 @@ from repro.replay import replay_with_idle
 from repro.storage import ConstantLatencyDevice, Raid0, SATA_600
 from repro.trace import BlockTrace, filter_sizes, merge_traces, split_windows, time_window
 
-from .test_properties import block_traces
+from test_properties import block_traces
 
 
 class TestFilterProperties:

@@ -1,0 +1,121 @@
+"""Tests for the ParallelRunner: CLI parsing, caching, parallel parity."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.experiments.runner import ParallelRunner, default_cache_dir, main, run_all
+
+FAST_SUBSET = {"fig5", "fig9"}
+
+
+def render(runner: ParallelRunner) -> str:
+    out = io.StringIO()
+    runner.run(out=out, log=io.StringIO())
+    return out.getvalue()
+
+
+class TestCLI:
+    def test_full_flag_set_parses_and_writes(self, tmp_path):
+        out = tmp_path / "report.txt"
+        code = main(
+            [
+                "--fast",
+                "--only", "fig9",
+                "--out", str(out),
+                "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert "Figure 9" in out.read_text()
+        assert (tmp_path / "cache").exists()  # cache enabled by default
+
+    def test_no_cache_writes_nothing(self, tmp_path):
+        out = tmp_path / "report.txt"
+        cache = tmp_path / "cache"
+        code = main(
+            ["--fast", "--only", "fig9", "--out", str(out), "--no-cache", "--cache-dir", str(cache)]
+        )
+        assert code == 0
+        assert not cache.exists()
+
+    def test_unknown_experiment_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment ids"):
+            ParallelRunner(only={"fig99"})
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ParallelRunner(jobs=0)
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+
+
+class TestCache:
+    def test_miss_then_hit_identical_report(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = render(ParallelRunner(n_requests=600, use_cache=True, cache_dir=cache, only={"fig5"}))
+        files = list(cache.glob("*.pkl"))
+        assert len(files) == 1
+        second = render(ParallelRunner(n_requests=600, use_cache=True, cache_dir=cache, only={"fig5"}))
+        assert first == second
+
+    def test_hit_skips_computation(self, tmp_path, monkeypatch):
+        cache = tmp_path / "cache"
+        render(ParallelRunner(n_requests=600, use_cache=True, cache_dir=cache, only={"fig9"}))
+
+        def boom(exp_id, n):
+            raise AssertionError("cache hit expected; experiment recomputed")
+
+        monkeypatch.setattr("repro.experiments.runner._compute_experiment", boom)
+        log = io.StringIO()
+        ParallelRunner(n_requests=600, use_cache=True, cache_dir=cache, only={"fig9"}).run(
+            out=io.StringIO(), log=log
+        )
+        assert "cache hit" in log.getvalue()
+
+    def test_key_includes_n_requests(self, tmp_path):
+        cache = tmp_path / "cache"
+        render(ParallelRunner(n_requests=600, use_cache=True, cache_dir=cache, only={"fig9"}))
+        render(ParallelRunner(n_requests=700, use_cache=True, cache_dir=cache, only={"fig9"}))
+        assert len(list(cache.glob("*.pkl"))) == 2
+
+    def test_corrupt_cache_recomputes(self, tmp_path):
+        cache = tmp_path / "cache"
+        baseline = render(ParallelRunner(n_requests=600, use_cache=True, cache_dir=cache, only={"fig9"}))
+        for path in cache.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        again = render(ParallelRunner(n_requests=600, use_cache=True, cache_dir=cache, only={"fig9"}))
+        assert again == baseline
+
+    def test_disabled_cache_reads_nothing(self, tmp_path):
+        cache = tmp_path / "cache"
+        render(ParallelRunner(n_requests=600, use_cache=True, cache_dir=cache, only={"fig9"}))
+        runner = ParallelRunner(n_requests=600, use_cache=False, cache_dir=cache, only={"fig9"})
+        assert runner._cache_load("fig9") is None
+
+
+class TestParallelParity:
+    def test_parallel_report_matches_sequential(self):
+        sequential = render(ParallelRunner(n_requests=600, only=FAST_SUBSET, jobs=1))
+        parallel = render(ParallelRunner(n_requests=600, only=FAST_SUBSET, jobs=2))
+        assert sequential == parallel
+        # Canonical ordering: fig5 renders before fig9 in both.
+        assert sequential.index("Figure 5") < sequential.index("Figure 9")
+
+    def test_cached_report_matches_uncached(self, tmp_path):
+        uncached = render(ParallelRunner(n_requests=600, only={"fig5"}, use_cache=False))
+        cache = tmp_path / "cache"
+        render(ParallelRunner(n_requests=600, only={"fig5"}, use_cache=True, cache_dir=cache))
+        cached = render(ParallelRunner(n_requests=600, only={"fig5"}, use_cache=True, cache_dir=cache))
+        assert cached == uncached
+
+    def test_run_all_wrapper(self):
+        buffer = io.StringIO()
+        run_all(n_requests=600, out=buffer, only={"fig9"})
+        text = buffer.getvalue()
+        assert "Figure 9" in text and "pchip" in text
