@@ -11,6 +11,15 @@ from .baselines import (
 )
 from .config import TraceTrackerConfig
 from .pipeline import ReconstructionResult, TraceTracker
+from .stages import (
+    EmulateStage,
+    InferStage,
+    MetricsStage,
+    PostprocessStage,
+    ReconstructionMetrics,
+    StagedReconstructionPipeline,
+    StreamedReconstruction,
+)
 
 __all__ = [
     "Acceleration",
@@ -23,4 +32,11 @@ __all__ = [
     "TraceTrackerConfig",
     "ReconstructionResult",
     "TraceTracker",
+    "InferStage",
+    "EmulateStage",
+    "PostprocessStage",
+    "MetricsStage",
+    "ReconstructionMetrics",
+    "StagedReconstructionPipeline",
+    "StreamedReconstruction",
 ]

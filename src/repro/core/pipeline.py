@@ -12,20 +12,29 @@ This is the paper's primary contribution assembled from the substrates:
 3. **post-processing** — restore asynchronous-submission timing where
    the old trace shows the submitter cannot have waited
    (:mod:`repro.replay.postprocess`).
+
+The stages themselves live in :mod:`repro.core.stages` as composable
+objects; :class:`TraceTracker` wires them per its configuration and
+offers both the classic whole-trace entry point and a streaming one
+for chunked traces larger than memory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Iterable
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..inference.idle import IdleExtraction, extract_idle
-from ..replay.batch import replay_with_idle_batch
-from ..replay.postprocess import detect_async_indices, revive_async
+from ..inference.idle import IdleExtraction
 from ..storage.device import StorageDevice
 from ..trace.trace import BlockTrace
 from .config import TraceTrackerConfig
+from .stages import (
+    ReconstructionMetrics,
+    StagedReconstructionPipeline,
+    StreamedReconstruction,
+)
 
 __all__ = ["ReconstructionResult", "TraceTracker"]
 
@@ -45,12 +54,16 @@ class ReconstructionResult:
         Old-trace gap indices treated as asynchronous submissions.
     method:
         Label (``"tracetracker"`` for the full pipeline).
+    metrics:
+        Aggregate numbers for the run (durations, idle slept, async
+        revivals) from the metrics stage.
     """
 
     trace: BlockTrace
     extraction: IdleExtraction
     async_indices: np.ndarray
     method: str
+    metrics: ReconstructionMetrics | None = field(default=None)
 
     @property
     def inferred_idle_us(self) -> np.ndarray:
@@ -74,14 +87,11 @@ class TraceTracker:
 
     def __init__(self, config: TraceTrackerConfig | None = None) -> None:
         self.config = config or TraceTrackerConfig()
+        self.pipeline = StagedReconstructionPipeline(self.config, method=self.method_name)
 
     def evaluate_software(self, old_trace: BlockTrace) -> IdleExtraction:
         """Run the software half only: infer the idle decomposition."""
-        return extract_idle(
-            old_trace,
-            config=self.config.inference,
-            prefer_measured=self.config.prefer_measured_tsdev,
-        )
+        return self.pipeline.infer.run(old_trace)
 
     def reconstruct(self, old_trace: BlockTrace, target: StorageDevice) -> ReconstructionResult:
         """Remaster ``old_trace`` for the ``target`` storage system.
@@ -89,28 +99,24 @@ class TraceTracker:
         Returns the reconstructed trace plus all intermediate artefacts.
         The old trace is not modified.
         """
-        extraction = self.evaluate_software(old_trace)
-        async_indices = detect_async_indices(extraction.tintt_us, extraction.tsdev_us)
-        replay = replay_with_idle_batch(
-            old_trace, target, idle_us=extraction.tidle_us, method=self.method_name
-        )
-        new_trace = replay.trace
-        if self.config.postprocess:
-            # An async submitter still pays the channel hand-off, so
-            # each revived gap is floored at the request's measured
-            # channel occupancy on the new device.
-            channel_floor = np.maximum(
-                replay.channel_delays()[:-1], self.config.min_async_gap_us
-            )
-            new_trace = revive_async(
-                new_trace,
-                async_indices,
-                min_gap_us=channel_floor,
-                old_gaps_us=extraction.tintt_us,
-            )
+        new_trace, extraction, async_indices, metrics = self.pipeline.run(old_trace, target)
         return ReconstructionResult(
             trace=new_trace,
             extraction=extraction,
             async_indices=async_indices,
             method=self.method_name,
+            metrics=metrics,
         )
+
+    def reconstruct_stream(
+        self, chunks: Iterable[BlockTrace], target: StorageDevice
+    ) -> StreamedReconstruction:
+        """Remaster a trace delivered as time-ordered chunks.
+
+        ``chunks`` is any iterable of :class:`BlockTrace` segments —
+        typically a :class:`~repro.trace.io.reader.TraceReader` over a
+        file too large to materialise.  See
+        :meth:`~repro.core.stages.StagedReconstructionPipeline.run_stream`
+        for the carry-over semantics.
+        """
+        return self.pipeline.run_stream(chunks, target)

@@ -42,8 +42,8 @@ from ..workloads.catalog import (
     get_spec,
     spec_variants,
 )
-from ..workloads.generator import collect_trace, generate_intents
 from ..workloads.idle_injection import inject_idles
+from ..workloads.materialize import collect_trace_cached
 from .nodes import calibration_disk, new_node, old_node
 from .pairs import build_pair_for
 from .reporting import cdf_series
@@ -226,9 +226,7 @@ def fig5_cdf_types(n_requests: int = 4_000) -> Fig5Result:
     }
     workload_classes = {}
     for name in ("MSNFS", "ikki", "proj"):
-        old = collect_trace(
-            generate_intents(get_spec(name).scaled(n_requests)), old_node()
-        )
+        old = collect_trace_cached(get_spec(name).scaled(n_requests), old_node())
         workload_classes[name] = cdf_shape_class(EmpiricalCDF(old.inter_arrival_times()))
     return Fig5Result(synthetic=synthetic_classes, workloads=workload_classes)
 
@@ -264,9 +262,7 @@ def fig7_tmovd_tcdel(
     traces = []
     tcdel: dict[str, dict[str, float]] = {}
     for name in workloads:
-        trace = collect_trace(
-            generate_intents(get_spec(name).scaled(n_requests)), disk
-        )
+        trace = collect_trace_cached(get_spec(name).scaled(n_requests), disk)
         traces.append(trace)
         tcdel[name] = tcdel_profile(trace, disk)
     calibration = calibrate_tmovd(traces)
@@ -418,8 +414,8 @@ def _verification_sweep(
     """
     tracker = TraceTracker()
     old_traces = [
-        collect_trace(
-            generate_intents(_verification_spec(name, n_requests)),
+        collect_trace_cached(
+            _verification_spec(name, n_requests),
             old_node(seed=100 + i),
             record_device_times=known_tsdev,
         )
@@ -725,8 +721,8 @@ def fig16_avg_idle(
     cats: dict[str, str] = {}
     for name in workloads:
         spec = get_spec(name)
-        old = collect_trace(
-            generate_intents(spec.scaled(n_requests)),
+        old = collect_trace_cached(
+            spec.scaled(n_requests),
             old_node(),
             record_device_times=spec.category in ("MSPS", "MSRC"),
         )
@@ -780,8 +776,8 @@ def fig17_idle_breakdown(
     cats: dict[str, str] = {}
     for name in workloads:
         spec = get_spec(name)
-        old = collect_trace(
-            generate_intents(spec.scaled(n_requests)),
+        old = collect_trace_cached(
+            spec.scaled(n_requests),
             old_node(),
             record_device_times=spec.category in ("MSPS", "MSRC"),
         )
@@ -830,9 +826,7 @@ def table1_characteristics(
         spec = get_spec(name)
         variants = spec_variants(name, count=traces_per_workload)
         traces = [
-            collect_trace(
-                generate_intents(v.scaled(n_requests)), old_node(seed=1000 + k)
-            )
+            collect_trace_cached(v.scaled(n_requests), old_node(seed=1000 + k))
             for k, v in enumerate(variants)
         ]
         rows[name] = workload_table(traces, workload=name, category=spec.category)

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from ..storage.device import StorageDevice
 from ..trace.trace import BlockTrace
 from ..workloads.catalog import get_spec
-from ..workloads.generator import IntentStream, collect_trace, generate_intents
+from ..workloads.generator import IntentStream, WorkloadSpec, collect_trace, generate_intents
+from ..workloads.materialize import collect_trace_cached
 from .nodes import new_node, old_node
 
 __all__ = ["TracePair", "build_pair", "build_pair_for"]
@@ -31,16 +32,29 @@ class TracePair:
         The trace collected on the NEW (flash) node — ground truth.
     intents:
         The shared intent stream (carries true idles and sync flags).
+        ``None`` when both traces came out of the binary trace store
+        without regenerating the stream; :meth:`regenerate_intents`
+        rebuilds it on demand (generation is deterministic in the
+        spec).
     """
 
     old: BlockTrace
     new: BlockTrace
-    intents: IntentStream
+    intents: IntentStream | None
+    spec: WorkloadSpec | None = None
 
     @property
     def name(self) -> str:
         """Workload name of the pair."""
         return self.old.name
+
+    def regenerate_intents(self) -> IntentStream:
+        """The shared intent stream, regenerating it if it was skipped."""
+        if self.intents is not None:
+            return self.intents
+        if self.spec is None:
+            raise ValueError("pair carries neither intents nor a spec")
+        return generate_intents(self.spec)
 
 
 def build_pair(
@@ -80,6 +94,25 @@ def build_pair_for(
         spec = spec.scaled(n_requests)
     if old_has_device_times is None:
         old_has_device_times = spec.category in ("MSPS", "MSRC")
-    return build_pair(
-        generate_intents(spec), old_has_device_times=old_has_device_times
+    # Through the trace store: with both collections cached, the intent
+    # stream is never generated; on a miss it is generated once and
+    # shared by both devices (the paper's one-stream-two-nodes method).
+    generated: list[IntentStream] = []
+
+    def shared_intents() -> IntentStream:
+        if not generated:
+            generated.append(generate_intents(spec))
+        return generated[0]
+
+    old = collect_trace_cached(
+        spec,
+        old_node(),
+        record_device_times=old_has_device_times,
+        intents_factory=shared_intents,
+    )
+    new = collect_trace_cached(
+        spec, new_node(), record_device_times=True, intents_factory=shared_intents
+    )
+    return TracePair(
+        old=old, new=new, intents=generated[0] if generated else None, spec=spec
     )

@@ -18,6 +18,17 @@ The heavy lifting is done by :class:`ParallelRunner`:
   includes a content hash of the ``repro`` package and reused by later
   runs of the same code; disable with ``--no-cache`` or point the
   location elsewhere with ``--cache-dir`` / ``$REPRO_CACHE_DIR``;
+- **binary trace store** — the catalog traces the experiments consume
+  are materialised once into the content-keyed ``.npz`` store
+  (:class:`repro.trace.io.cache.TraceStore`) and memory-mapped back by
+  every later run and every worker process, instead of re-generating
+  them per worker; disable with ``--no-trace-store`` or relocate with
+  ``--trace-store-dir`` / ``$REPRO_TRACE_STORE_DIR``.  Unlike the
+  result cache, store entries are keyed by the *content* that defines
+  a trace — spec parameters, device fingerprint, and a hash of the
+  generator/storage-model sources — so they survive edits to every
+  other layer (figures, analysis, metrics) but invalidate the moment
+  trace-producing code changes;
 - **deterministic report** — the report text contains no wall-clock
   timings, so sequential, parallel, cached and uncached runs emit
   byte-identical reports (timings go to stderr).
@@ -37,6 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import TextIO
 
+from ..trace.io.cache import TraceStore, default_trace_store_dir, get_default_store, set_default_store
 from . import figures
 from .reporting import format_cdf_series, format_table
 
@@ -103,6 +115,23 @@ def _compute_experiment(exp_id: str, n_requests: int) -> object:
     return run(n_requests)
 
 
+def _worker_init_trace_store(root: str) -> None:
+    """Point a worker process at the shared binary trace store."""
+    set_default_store(TraceStore(root=root, enabled=True))
+
+
+def _compute_with_store_stats(exp_id: str, n_requests: int) -> tuple[object, int, int]:
+    """Worker wrapper: result plus this call's store hit/miss deltas.
+
+    Workers are reused across experiments, so per-call deltas (not the
+    cumulative counters) are what the parent can safely sum.
+    """
+    store = get_default_store()
+    hits, misses = store.hits, store.misses
+    result = _compute_experiment(exp_id, n_requests)
+    return result, store.hits - hits, store.misses - misses
+
+
 def default_cache_dir() -> Path:
     """Cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-tracetracker``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -131,6 +160,13 @@ class ParallelRunner:
         Cache location; defaults to :func:`default_cache_dir`.
     only:
         Restrict to a subset of experiment ids.
+    use_trace_store:
+        Materialise the catalog traces experiments consume into the
+        binary trace store and load them from there (in this process
+        and every worker).  Content-keyed, so safe across code edits.
+    trace_store_dir:
+        Store location; defaults to
+        :func:`repro.trace.io.cache.default_trace_store_dir`.
     """
 
     def __init__(
@@ -140,6 +176,8 @@ class ParallelRunner:
         use_cache: bool = False,
         cache_dir: Path | str | None = None,
         only: set[str] | None = None,
+        use_trace_store: bool = False,
+        trace_store_dir: Path | str | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -152,6 +190,10 @@ class ParallelRunner:
         self.use_cache = use_cache
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.only = only
+        self.use_trace_store = use_trace_store
+        self.trace_store_dir = (
+            Path(trace_store_dir) if trace_store_dir is not None else default_trace_store_dir()
+        )
 
     # -- cache ---------------------------------------------------------
 
@@ -213,17 +255,51 @@ class ParallelRunner:
                 missing.append(exp_id)
         if missing:
             start = time.perf_counter()
-            if self.jobs > 1 and len(missing) > 1:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    futures = {
-                        exp_id: pool.submit(_compute_experiment, exp_id, self.n_requests)
-                        for exp_id in missing
-                    }
-                    for exp_id, future in futures.items():
-                        results[exp_id] = future.result()
-            else:
-                for exp_id in missing:
-                    results[exp_id] = _compute_experiment(exp_id, self.n_requests)
+            previous_store = get_default_store()
+            if self.use_trace_store:
+                set_default_store(TraceStore(root=self.trace_store_dir, enabled=True))
+            try:
+                if self.jobs > 1 and len(missing) > 1:
+                    if self.use_trace_store:
+                        initializer, initargs = (
+                            _worker_init_trace_store, (str(self.trace_store_dir),)
+                        )
+                        compute = _compute_with_store_stats
+                    else:
+                        initializer, initargs = None, ()
+                        compute = None
+                    with ProcessPoolExecutor(
+                        max_workers=self.jobs, initializer=initializer, initargs=initargs
+                    ) as pool:
+                        futures = {
+                            exp_id: pool.submit(
+                                compute or _compute_experiment, exp_id, self.n_requests
+                            )
+                            for exp_id in missing
+                        }
+                        for exp_id, future in futures.items():
+                            if compute is not None:
+                                # Fold the workers' store traffic into the
+                                # parent's counters so the stats line below
+                                # reflects what actually happened.
+                                result, hits, misses = future.result()
+                                parent_store = get_default_store()
+                                parent_store.hits += hits
+                                parent_store.misses += misses
+                                results[exp_id] = result
+                            else:
+                                results[exp_id] = future.result()
+                else:
+                    for exp_id in missing:
+                        results[exp_id] = _compute_experiment(exp_id, self.n_requests)
+            finally:
+                if self.use_trace_store:
+                    store = get_default_store()
+                    log.write(
+                        f"[trace-store] hits={store.hits} misses={store.misses} "
+                        f"dir={store.root}\n"
+                    )
+                    set_default_store(previous_store)
             log.write(
                 f"[runner] computed {len(missing)} experiment(s) in "
                 f"{time.perf_counter() - start:.1f}s (jobs={self.jobs})\n"
@@ -281,6 +357,17 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", type=str, default=None,
         help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-tracetracker)",
     )
+    parser.add_argument(
+        "--no-trace-store", action="store_true",
+        help="regenerate catalog traces in memory; do not read or write the binary trace store",
+    )
+    parser.add_argument(
+        "--trace-store-dir", type=str, default=None,
+        help=(
+            "binary trace-store directory (default: $REPRO_TRACE_STORE_DIR or "
+            "~/.cache/repro-tracetracker/traces)"
+        ),
+    )
     args = parser.parse_args(argv)
     n = max(500, args.requests // 4) if args.fast else args.requests
     only = set(args.only.split(",")) if args.only else None
@@ -291,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
             only=only,
+            use_trace_store=not args.no_trace_store,
+            trace_store_dir=args.trace_store_dir,
         )
     except ValueError as exc:
         parser.error(str(exc))

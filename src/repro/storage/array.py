@@ -60,6 +60,12 @@ class FlashArray(StorageDevice):
     def name(self) -> str:
         return f"flash-array({self.n_ssds}x {self.ssds[0].name})"
 
+    def fingerprint(self) -> str:
+        return (
+            f"{super().fingerprint()}|n={self.n_ssds}|stripe={self.stripe_sectors}"
+            f"|member={self.ssds[0].fingerprint()}"
+        )
+
     def reset(self) -> None:
         """Cold state for the array and every member SSD."""
         super().reset()

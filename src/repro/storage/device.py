@@ -120,6 +120,17 @@ class StorageDevice(abc.ABC):
         """Return the device to its cold state (subclasses extend)."""
         self._last_submit = float("-inf")
 
+    def fingerprint(self) -> str:
+        """Stable description of everything that determines behaviour.
+
+        Two devices with equal fingerprints produce identical traces
+        for identical request streams (from a cold reset), so the
+        fingerprint is safe to fold into trace-cache content keys.
+        Subclasses with extra constructor state (geometry, seeds,
+        member layout) must extend it.
+        """
+        return f"{type(self).__qualname__}|{self.name}|{self.channel!r}"
+
     # ------------------------------------------------------------------
     # batch service API (the vectorised replay engine's device contract)
     # ------------------------------------------------------------------

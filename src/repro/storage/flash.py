@@ -185,6 +185,9 @@ class FlashSSD(StorageDevice):
         g = self.geometry
         return f"flash({g.channels}ch/{g.total_dies}die/{g.total_planes}pl)"
 
+    def fingerprint(self) -> str:
+        return f"{super().fingerprint()}|{self.geometry!r}|interleave={self.plane_interleave}"
+
     def reset(self) -> None:
         """Cold state: all channels and dies idle, buffer empty.
 

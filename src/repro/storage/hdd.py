@@ -135,6 +135,12 @@ class HDDModel(StorageDevice):
     def name(self) -> str:
         return f"hdd({self.geometry.rpm:.0f}rpm)"
 
+    def fingerprint(self) -> str:
+        return (
+            f"{super().fingerprint()}|{self.geometry!r}"
+            f"|cache={self.write_back_cache_kb}|seed={self._seed}"
+        )
+
     def reset(self) -> None:
         """Cold state: head at cylinder 0, caches empty, RNG reseeded."""
         super().reset()

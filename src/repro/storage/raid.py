@@ -52,6 +52,11 @@ class _RaidBase(StorageDevice):
         for member in self.members:
             member.reset()
 
+    def fingerprint(self) -> str:
+        stripe = getattr(self, "stripe_sectors", None)
+        members = ";".join(member.fingerprint() for member in self.members)
+        return f"{super().fingerprint()}|stripe={stripe}|members=[{members}]"
+
 
 class Raid0(_RaidBase):
     """Striped array (no redundancy).

@@ -22,7 +22,21 @@ from .intervals import (
     sequentiality_fraction,
     summarize_pattern,
 )
+from .io import (
+    TraceReader,
+    TraceStore,
+    TraceStoreError,
+    TraceStreamError,
+    load_trace_bulk,
+    load_trace_npz,
+    parse_fiu_bulk,
+    parse_internal_bulk,
+    parse_msps_bulk,
+    parse_msrc_bulk,
+    save_trace_npz,
+)
 from .parsers import (
+    ParseError,
     TraceParseError,
     load_trace,
     parse_fiu,
@@ -54,12 +68,24 @@ __all__ = [
     "read_fraction",
     "sequentiality_fraction",
     "summarize_pattern",
+    "ParseError",
     "TraceParseError",
     "load_trace",
     "parse_fiu",
     "parse_internal",
     "parse_msps",
     "parse_msrc",
+    "TraceReader",
+    "TraceStore",
+    "TraceStoreError",
+    "TraceStreamError",
+    "load_trace_bulk",
+    "load_trace_npz",
+    "parse_fiu_bulk",
+    "parse_internal_bulk",
+    "parse_msps_bulk",
+    "parse_msrc_bulk",
+    "save_trace_npz",
     "TraceStatistics",
     "WorkloadRow",
     "trace_statistics",

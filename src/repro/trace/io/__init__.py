@@ -1,0 +1,58 @@
+"""Columnar trace I/O: bulk parsers, binary store, cache, streaming reader.
+
+This package is the high-throughput counterpart to the row-wise
+:mod:`repro.trace.parsers`.  Four pieces:
+
+- :mod:`~repro.trace.io.bulk` — vectorised whole-file parsers for the
+  MSRC/FIU/MSPS/internal dialects.  Same results as the line-by-line
+  parsers (which remain as the correctness oracle), several times
+  faster: the file is read once and split into column arrays by
+  NumPy's C tokenizer instead of per-line ``str.split`` + appends.
+- :mod:`~repro.trace.io.store` — a versioned ``.npz`` binary trace
+  format with optional memory-mapped reads, so a parsed or generated
+  trace is materialised to columns once and loaded back without any
+  text processing.
+- :mod:`~repro.trace.io.cache` — :class:`TraceStore`, a content-keyed
+  on-disk cache of binary traces (the 31-workload catalog and parsed
+  public traces are built once per content key).
+- :mod:`~repro.trace.io.reader` — :class:`TraceReader`, a chunked
+  reader that yields :class:`~repro.trace.trace.BlockTrace` segments
+  so traces larger than memory stream through
+  parse → filter → infer → replay without full materialisation.
+"""
+
+from .bulk import (
+    BULK_PARSERS,
+    load_trace_bulk,
+    parse_fiu_bulk,
+    parse_internal_bulk,
+    parse_msps_bulk,
+    parse_msrc_bulk,
+)
+from .cache import TraceStore, default_trace_store_dir, get_default_store, set_default_store
+from .reader import TraceReader, TraceStreamError
+from .store import (
+    STORE_FORMAT_VERSION,
+    TraceStoreError,
+    load_trace_npz,
+    save_trace_npz,
+)
+
+__all__ = [
+    "BULK_PARSERS",
+    "load_trace_bulk",
+    "parse_fiu_bulk",
+    "parse_internal_bulk",
+    "parse_msps_bulk",
+    "parse_msrc_bulk",
+    "STORE_FORMAT_VERSION",
+    "TraceStoreError",
+    "save_trace_npz",
+    "load_trace_npz",
+    "TraceStore",
+    "default_trace_store_dir",
+    "get_default_store",
+    "set_default_store",
+    "TraceReader",
+    "TraceStreamError",
+]

@@ -1,0 +1,376 @@
+"""Bulk vectorised parsers for the supported trace dialects.
+
+Each ``parse_*_bulk`` function accepts the same inputs as its
+line-by-line counterpart in :mod:`repro.trace.parsers` (an iterable of
+lines, an open text file, or — additionally — one whole ``str``) and
+produces a column-identical :class:`~repro.trace.trace.BlockTrace`.
+
+The fast path hands the entire file body to ``np.loadtxt`` with a
+structured dtype, so tokenising and numeric conversion happen in
+NumPy's C reader rather than per-line Python.  Operation-type columns
+are decoded through ``np.unique`` — a handful of distinct spellings are
+mapped once via :meth:`~repro.trace.record.OpType.from_str` and
+broadcast back.
+
+Error handling keeps the oracle's contract without slowing the fast
+path: whenever the vectorised parse trips over anything — a malformed
+row, an unknown operation spelling, a non-positive size — the input is
+re-parsed with the line-by-line oracle, which either succeeds (an
+exotic-but-valid file simply takes the slow path) or raises a
+:class:`~repro.trace.parsers.TraceParseError` carrying the exact
+1-based line number and offending text.
+
+One deliberate divergence: like ``np.loadtxt``, the bulk parsers treat
+``#`` as starting a comment *anywhere* in a line, while the oracle only
+skips lines that begin with ``#``.  Trace bodies are numeric, so this
+matters only for hand-annotated files.
+"""
+
+from __future__ import annotations
+
+import io
+import warnings
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..record import SECTOR_BYTES, OpType
+from ..trace import BlockTrace
+
+__all__ = [
+    "parse_msrc_bulk",
+    "parse_fiu_bulk",
+    "parse_msps_bulk",
+    "parse_internal_bulk",
+    "load_trace_bulk",
+    "BULK_PARSERS",
+]
+
+#: Windows filetime tick length in microseconds (100 ns).
+_FILETIME_TICK_US = 0.1
+
+#: Column dtypes for the internal CSV header names.  Unknown columns
+#: parse as (ignored) strings so extra provenance columns don't break
+#: the fast path.
+_INTERNAL_COLUMN_DTYPES = {
+    "timestamp_us": "f8",
+    "lba": "i8",
+    "size_sectors": "i8",
+    "op": "U8",
+    "issue_us": "f8",
+    "complete_us": "f8",
+    "sync": "U4",
+}
+
+
+def _as_text(lines: Iterable[str] | str) -> str:
+    """Collapse any accepted input into one newline-normalised string."""
+    if isinstance(lines, str):
+        text = lines
+    elif hasattr(lines, "read"):
+        text = lines.read()  # type: ignore[union-attr]
+    else:
+        return "\n".join(line.rstrip("\r\n") for line in lines)
+    # The membership scan is ~10x cheaper than an unconditional replace.
+    return text.replace("\r\n", "\n") if "\r" in text else text
+
+
+def _loadtxt(body: str | io.StringIO, dtype: np.dtype, **kwargs) -> np.ndarray:
+    """``np.loadtxt`` wrapper: empty input returns an empty record array.
+
+    Accepts a pre-positioned ``StringIO`` so callers that already hold
+    the whole text (e.g. after locating a header) avoid re-copying it.
+    """
+    handle = io.StringIO(body) if isinstance(body, str) else body
+    with warnings.catch_warnings():
+        # Empty files are legal traces, not a user mistake.
+        warnings.filterwarnings("ignore", message=".*input contained no data.*")
+        arr = np.loadtxt(handle, dtype=dtype, comments="#", ndmin=1, **kwargs)
+    if arr.size and arr.dtype != dtype:  # scalar fallback shapes
+        arr = arr.astype(dtype)
+    return arr
+
+
+def _decode_distinct(
+    column: np.ndarray, convert: Callable[[str], int], max_distinct: int = 16
+) -> np.ndarray:
+    """Decode a categorical string column by its distinct values.
+
+    One vectorised comparison per *distinct* spelling — real trace
+    files carry one or two — which beats ``np.unique`` (a full string
+    sort) by an order of magnitude.  ``convert`` validates each
+    spelling; an unknown one raises and sends the caller to the
+    oracle fallback.
+    """
+    out = np.empty(len(column), dtype=np.int8)
+    # First spelling handled copy-free (it usually covers most rows).
+    first = column[0]
+    match = column == first
+    out[match] = convert(str(first))
+    remaining = np.flatnonzero(~match)
+    for _ in range(max_distinct):
+        if remaining.size == 0:
+            return out
+        token = column[remaining[0]]
+        value = convert(str(token))
+        match = column[remaining] == token
+        out[remaining[match]] = value
+        remaining = remaining[~match]
+    raise ValueError("too many distinct spellings in categorical column")
+
+
+def _decode_ops(op_column: np.ndarray) -> np.ndarray:
+    """Vectorised OpType decode (validated via ``OpType.from_str``)."""
+    return _decode_distinct(op_column, lambda t: int(OpType.from_str(t)))
+
+def _stable_order(timestamps: np.ndarray) -> np.ndarray | slice:
+    """Stable sort permutation, or a no-copy slice when already sorted."""
+    if timestamps.size > 1 and np.any(timestamps[1:] < timestamps[:-1]):
+        return np.argsort(timestamps, kind="stable")
+    return slice(None)
+
+
+def _with_fallback(
+    fast: Callable[[str, str, bool], BlockTrace],
+    lines: Iterable[str] | str,
+    name: str,
+    rebase: bool,
+    oracle: Callable[..., BlockTrace],
+) -> BlockTrace:
+    """Run the vectorised parse; on input trouble, defer to the oracle.
+
+    The oracle pass either parses the exotic-but-valid input correctly
+    (slow path) or raises a ``TraceParseError`` locating the bad row.
+    Only *data-shaped* exceptions trigger the fallback — a programming
+    error in the fast path (``TypeError``, ``AttributeError``, ...)
+    must surface, not silently demote every parse to the slow path.
+    """
+    text = _as_text(lines)
+    try:
+        return fast(text, name, rebase)
+    except (ValueError, KeyError, IndexError, OverflowError):
+        return oracle(text.split("\n"), name=name, rebase=rebase)
+
+
+def _empty_like_oracle(name: str, metadata: dict) -> BlockTrace:
+    """What the oracle returns for a file with no content rows."""
+    return BlockTrace([], [], [], [], name=name, metadata=metadata)
+
+
+# ----------------------------------------------------------------------
+# MSRC
+# ----------------------------------------------------------------------
+
+_MSRC_DTYPE = np.dtype(
+    [("ticks", "i8"), ("op", "U8"), ("offset", "i8"), ("size", "i8"), ("response", "i8")]
+)
+
+
+def _parse_msrc_fast(text: str, name: str, rebase: bool) -> BlockTrace:
+    metadata = {"format": "msrc", "category": "MSRC"}
+    arr = _loadtxt(text, _MSRC_DTYPE, delimiter=",", usecols=(0, 3, 4, 5, 6))
+    if arr.size == 0:
+        return _empty_like_oracle(name, metadata)
+    if np.any(arr["size"] <= 0):
+        raise ValueError("non-positive request size")  # oracle locates the row
+    ops = _decode_ops(arr["op"])
+    submits = arr["ticks"] * _FILETIME_TICK_US
+    order = _stable_order(submits)
+    arr = arr[order]
+    ops = ops[order]
+    submits = submits[order]
+    trace = BlockTrace(
+        timestamps=submits,
+        lbas=arr["offset"] // SECTOR_BYTES,
+        sizes=np.maximum(1, (arr["size"] + SECTOR_BYTES - 1) // SECTOR_BYTES),
+        ops=ops,
+        issues=submits.copy(),
+        completes=submits + arr["response"] * _FILETIME_TICK_US,
+        name=name,
+        metadata=metadata,
+    )
+    return trace.rebased() if rebase else trace
+
+
+def parse_msrc_bulk(
+    lines: Iterable[str] | str, name: str = "msrc", rebase: bool = True
+) -> BlockTrace:
+    """Vectorised :func:`~repro.trace.parsers.parse_msrc`."""
+    from ..parsers import parse_msrc
+
+    return _with_fallback(_parse_msrc_fast, lines, name, rebase, parse_msrc)
+
+
+# ----------------------------------------------------------------------
+# FIU
+# ----------------------------------------------------------------------
+
+_FIU_DTYPE = np.dtype([("ts", "f8"), ("lba", "i8"), ("size", "i8"), ("op", "U8")])
+
+
+def _parse_fiu_fast(text: str, name: str, rebase: bool) -> BlockTrace:
+    metadata = {"format": "fiu", "category": "FIU"}
+    arr = _loadtxt(text, _FIU_DTYPE, usecols=(0, 3, 4, 5))
+    if arr.size == 0:
+        return _empty_like_oracle(name, metadata)
+    if np.any(arr["size"] <= 0):
+        raise ValueError("non-positive request size")
+    ops = _decode_ops(arr["op"])
+    submits = arr["ts"] * 1e6
+    order = _stable_order(submits)
+    trace = BlockTrace(
+        timestamps=submits[order],
+        lbas=arr["lba"][order],
+        sizes=arr["size"][order],
+        ops=ops[order],
+        name=name,
+        metadata=metadata,
+    )
+    return trace.rebased() if rebase else trace
+
+
+def parse_fiu_bulk(
+    lines: Iterable[str] | str, name: str = "fiu", rebase: bool = True
+) -> BlockTrace:
+    """Vectorised :func:`~repro.trace.parsers.parse_fiu`."""
+    from ..parsers import parse_fiu
+
+    return _with_fallback(_parse_fiu_fast, lines, name, rebase, parse_fiu)
+
+
+# ----------------------------------------------------------------------
+# MSPS
+# ----------------------------------------------------------------------
+
+_MSPS_DTYPE = np.dtype(
+    [("issue", "f8"), ("complete", "f8"), ("op", "U8"), ("lba", "i8"), ("size", "i8")]
+)
+
+
+def _parse_msps_fast(text: str, name: str, rebase: bool) -> BlockTrace:
+    metadata = {"format": "msps", "category": "MSPS"}
+    arr = _loadtxt(text, _MSPS_DTYPE, usecols=(0, 1, 2, 3, 4))
+    if arr.size == 0:
+        return _empty_like_oracle(name, metadata)
+    if np.any(arr["complete"] < arr["issue"]) or np.any(arr["size"] <= 0):
+        raise ValueError("bad row")  # oracle locates and describes it
+    ops = _decode_ops(arr["op"])
+    order = _stable_order(arr["issue"])
+    arr = arr[order]
+    trace = BlockTrace(
+        timestamps=arr["issue"],
+        lbas=arr["lba"],
+        sizes=arr["size"],
+        ops=ops[order],
+        issues=arr["issue"].copy(),
+        completes=arr["complete"],
+        name=name,
+        metadata=metadata,
+    )
+    return trace.rebased() if rebase else trace
+
+
+def parse_msps_bulk(
+    lines: Iterable[str] | str, name: str = "msps", rebase: bool = True
+) -> BlockTrace:
+    """Vectorised :func:`~repro.trace.parsers.parse_msps`."""
+    from ..parsers import parse_msps
+
+    return _with_fallback(_parse_msps_fast, lines, name, rebase, parse_msps)
+
+
+# ----------------------------------------------------------------------
+# internal CSV
+# ----------------------------------------------------------------------
+
+
+def _parse_internal_fast(text: str, name: str, rebase: bool) -> BlockTrace:
+    del rebase  # the internal dialect is stored already rebased
+    header, body_offset = _split_internal_header(text)
+    if header is None:
+        return BlockTrace([], [], [], [], name=name)
+    columns = [c.strip() for c in header.split(",")]
+    required = ["timestamp_us", "lba", "size_sectors", "op"]
+    if columns[: len(required)] != required:
+        raise ValueError("bad header")  # oracle raises the precise error
+    dtype = np.dtype(
+        [(c, _INTERNAL_COLUMN_DTYPES.get(c, "U16")) for c in columns]
+    )
+    body = io.StringIO(text)
+    body.seek(body_offset)
+    arr = _loadtxt(body, dtype, delimiter=",")
+    if arr.size == 0:
+        return BlockTrace([], [], [], [], name=name, metadata={"format": "internal"})
+    if np.any(arr["size_sectors"] <= 0):
+        raise ValueError("non-positive request size")
+    ops = _decode_ops(arr["op"])
+    has_dev = "issue_us" in columns
+    if has_dev and "complete_us" not in columns:
+        raise ValueError("issue_us without complete_us")
+    has_sync = "sync" in columns
+    order = _stable_order(arr["timestamp_us"])
+    arr = arr[order]
+    syncs = None
+    if has_sync:
+        syncs = _decode_distinct(arr["sync"], lambda t: int(t.strip() == "1")).astype(bool)
+    return BlockTrace(
+        timestamps=arr["timestamp_us"],
+        lbas=arr["lba"],
+        sizes=arr["size_sectors"],
+        ops=ops[order],
+        issues=arr["issue_us"] if has_dev else None,
+        completes=arr["complete_us"] if has_dev else None,
+        syncs=syncs,
+        name=name,
+        metadata={"format": "internal"},
+    )
+
+
+def _split_internal_header(text: str) -> tuple[str | None, int]:
+    """Header line (first non-blank, non-comment) and the body's offset."""
+    offset = 0
+    while offset < len(text):
+        end = text.find("\n", offset)
+        if end == -1:
+            end = len(text)
+        line = text[offset:end].strip()
+        if line and not line.startswith("#"):
+            return line, end + 1
+        offset = end + 1
+    return None, len(text)
+
+
+def parse_internal_bulk(
+    lines: Iterable[str] | str, name: str = "", rebase: bool = True
+) -> BlockTrace:
+    """Vectorised :func:`~repro.trace.parsers.parse_internal`."""
+    from ..parsers import parse_internal
+
+    # parse_internal never rebases; the parameter exists for signature
+    # parity with the other dialects (the streaming reader passes it).
+    def oracle(lines: Iterable[str], name: str, rebase: bool) -> BlockTrace:
+        del rebase
+        return parse_internal(lines, name=name)
+
+    return _with_fallback(_parse_internal_fast, lines, name, True, oracle)
+
+
+#: Bulk parser per dialect name.
+BULK_PARSERS: dict[str, Callable[..., BlockTrace]] = {
+    "msrc": parse_msrc_bulk,
+    "fiu": parse_fiu_bulk,
+    "msps": parse_msps_bulk,
+    "internal": parse_internal_bulk,
+}
+
+
+def load_trace_bulk(path: str | Path, fmt: str = "internal", name: str | None = None) -> BlockTrace:
+    """Load a text-dialect trace file through the vectorised parsers."""
+    if fmt not in BULK_PARSERS:
+        raise ValueError(f"unknown trace format {fmt!r}; choose from {sorted(BULK_PARSERS)}")
+    p = Path(path)
+    # Text mode translates universal newlines, so CRLF files cost nothing.
+    text = p.read_text(encoding="utf-8")
+    return BULK_PARSERS[fmt](text, name=name if name is not None else p.stem)

@@ -1,0 +1,175 @@
+"""Versioned binary trace store: ``.npz`` columns + JSON header.
+
+A stored trace is one NumPy ``.npz`` archive holding the column arrays
+(``timestamps``, ``lbas``, ``sizes``, ``ops`` and, when present,
+``issues``/``completes``/``syncs``) plus a ``header`` JSON blob with
+the store format version, trace name, and provenance metadata.
+
+Two properties make the format fit the streaming pipeline:
+
+- **atomic, versioned writes** — files are written to a sibling temp
+  path and ``os.replace``d into place; the embedded
+  :data:`STORE_FORMAT_VERSION` is checked on load, so a format bump
+  can never silently serve stale bytes;
+- **memory-mapped reads** — ``np.savez`` stores members uncompressed,
+  so :func:`load_trace_npz` with ``mmap=True`` maps each column
+  directly out of the zip archive (offsets are computed from the zip
+  local headers).  A multi-GB trace opens in milliseconds and pages in
+  lazily as the pipeline touches columns; anything unexpected in the
+  archive silently falls back to a regular in-memory load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..trace import BlockTrace
+
+__all__ = ["STORE_FORMAT_VERSION", "TraceStoreError", "save_trace_npz", "load_trace_npz"]
+
+#: Bump on any incompatible change to the stored layout.  The version is
+#: embedded in every file *and* folded into every cache key, so a bump
+#: invalidates existing caches and rejects stale files on direct loads.
+STORE_FORMAT_VERSION = 1
+
+_COLUMNS = ("timestamps", "lbas", "sizes", "ops")
+_OPTIONAL = ("issues", "completes", "syncs")
+
+
+class TraceStoreError(RuntimeError):
+    """A stored trace could not be read (corrupt, wrong version, not ours)."""
+
+
+def save_trace_npz(trace: BlockTrace, path: str | Path, compress: bool = False) -> Path:
+    """Persist ``trace`` to ``path`` in the binary store format.
+
+    Uncompressed by default so the file can be memory-mapped back;
+    ``compress=True`` trades mmap-ability for size (cold archives).
+    The write is atomic: concurrent readers see the old file or the new
+    one, never a torn one.
+    """
+    p = Path(path)
+    header = {
+        "version": STORE_FORMAT_VERSION,
+        "name": trace.name,
+        "metadata": trace.metadata,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "header": np.frombuffer(json.dumps(header, default=str).encode("utf-8"), dtype=np.uint8),
+        "timestamps": trace.timestamps,
+        "lbas": trace.lbas,
+        "sizes": trace.sizes,
+        "ops": trace.ops,
+    }
+    for optional in _OPTIONAL:
+        column = getattr(trace, optional)
+        if column is not None:
+            arrays[optional] = column
+    p.parent.mkdir(parents=True, exist_ok=True)
+    tmp = p.with_name(p.name + f".tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            if compress:
+                np.savez_compressed(handle, **arrays)
+            else:
+                np.savez(handle, **arrays)
+        os.replace(tmp, p)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return p
+
+
+def load_trace_npz(path: str | Path, mmap: bool = False) -> BlockTrace:
+    """Load a trace written by :func:`save_trace_npz`.
+
+    With ``mmap=True`` column arrays are memory-mapped read-only when
+    the archive layout allows it (uncompressed members, C-contiguous
+    plain dtypes — the layout :func:`save_trace_npz` produces); any
+    deviation falls back to a normal load rather than failing.
+    """
+    p = Path(path)
+    columns = _mmap_columns(p) if mmap else None
+    if columns is None:
+        try:
+            with np.load(p, allow_pickle=False) as archive:
+                columns = {key: archive[key] for key in archive.files}
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise TraceStoreError(f"cannot read trace store file {p}: {exc}") from exc
+    return _trace_from_columns(columns, p)
+
+
+def _trace_from_columns(columns: dict[str, np.ndarray], path: Path) -> BlockTrace:
+    if "header" not in columns or any(c not in columns for c in _COLUMNS):
+        raise TraceStoreError(f"{path} is not a trace store file (missing columns)")
+    try:
+        header: dict[str, Any] = json.loads(bytes(np.asarray(columns["header"])).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceStoreError(f"{path} has a corrupt header: {exc}") from exc
+    version = header.get("version")
+    if version != STORE_FORMAT_VERSION:
+        raise TraceStoreError(
+            f"{path} has store format version {version!r}; "
+            f"this build reads version {STORE_FORMAT_VERSION}"
+        )
+    try:
+        return BlockTrace(
+            timestamps=columns["timestamps"],
+            lbas=columns["lbas"],
+            sizes=columns["sizes"],
+            ops=columns["ops"],
+            issues=columns.get("issues"),
+            completes=columns.get("completes"),
+            syncs=columns.get("syncs"),
+            name=header.get("name", ""),
+            metadata=header.get("metadata") or {},
+        )
+    except ValueError as exc:
+        raise TraceStoreError(f"{path} holds inconsistent columns: {exc}") from exc
+
+
+def _mmap_columns(path: Path) -> dict[str, np.ndarray] | None:
+    """Memory-map every member of an uncompressed ``.npz``.
+
+    Returns ``None`` whenever the archive deviates from the layout
+    ``np.savez`` writes (compressed members, Fortran order, object
+    dtypes, unexpected magic) — the caller then loads normally.
+    """
+    try:
+        columns: dict[str, np.ndarray] = {}
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                with archive.open(info) as member:
+                    version = np.lib.format.read_magic(member)
+                    if version == (1, 0):
+                        shape, fortran, dtype = np.lib.format.read_array_header_1_0(member)
+                    elif version == (2, 0):
+                        shape, fortran, dtype = np.lib.format.read_array_header_2_0(member)
+                    else:
+                        return None
+                    if fortran or dtype.hasobject:
+                        return None
+                    header_bytes = member.tell()
+                # The member's payload starts after the zip *local* file
+                # header, whose name/extra lengths can differ from the
+                # central directory's copy — read them from the file.
+                with open(path, "rb") as raw:
+                    raw.seek(info.header_offset)
+                    local = raw.read(30)
+                if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                    return None
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                offset = info.header_offset + 30 + name_len + extra_len + header_bytes
+                key = info.filename.removesuffix(".npy")
+                columns[key] = np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
+        return columns
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return None

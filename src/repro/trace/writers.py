@@ -100,15 +100,23 @@ def dump_trace(trace: BlockTrace, path: str | Path, fmt: str = "internal") -> Pa
     """Persist ``trace`` to ``path`` in the chosen format.
 
     Returns the path written.  ``fmt`` is one of ``"internal"``,
-    ``"msrc"``, ``"blktrace"``.
+    ``"msrc"``, ``"blktrace"`` (text), or ``"npz"`` — the versioned
+    binary store format (see :mod:`repro.trace.io.store`), which
+    round-trips every column bit-exactly and loads without parsing.
     """
+    if fmt == "npz":
+        from .io.store import save_trace_npz
+
+        return save_trace_npz(trace, path)
     writers = {
         "internal": write_csv,
         "msrc": write_msrc,
         "blktrace": write_blktrace_text,
     }
     if fmt not in writers:
-        raise ValueError(f"unknown trace format {fmt!r}; choose from {sorted(writers)}")
+        raise ValueError(
+            f"unknown trace format {fmt!r}; choose from {sorted(writers) + ['npz']}"
+        )
     p = Path(path)
     with p.open("w", encoding="utf-8") as handle:
         writers[fmt](trace, handle)

@@ -20,6 +20,7 @@ from .generator import (
     generate_intents,
 )
 from .idle_injection import InjectionRecord, inject_idles
+from .materialize import collect_trace_cached, spec_key
 
 __all__ = [
     "ALL_WORKLOADS",
@@ -39,4 +40,6 @@ __all__ = [
     "generate_intents",
     "InjectionRecord",
     "inject_idles",
+    "collect_trace_cached",
+    "spec_key",
 ]

@@ -1,0 +1,115 @@
+"""Staged pipeline: whole-trace equivalence and chunked streaming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReconstructionMetrics,
+    StagedReconstructionPipeline,
+    TraceTracker,
+    TraceTrackerConfig,
+)
+from repro.storage import ConstantLatencyDevice, FlashArray, SATA_600
+
+
+def chunked(trace, size):
+    for start in range(0, len(trace), size):
+        yield trace.select(slice(start, start + size))
+
+
+class TestWholeTraceEquivalence:
+    """The staged pipeline IS the tracker's engine; results must agree."""
+
+    def test_pipeline_matches_tracker(self, old_trace, flash):
+        tracker = TraceTracker()
+        via_tracker = tracker.reconstruct(old_trace, flash)
+        new, extraction, async_indices, metrics = StagedReconstructionPipeline(
+            TraceTrackerConfig()
+        ).run(old_trace, FlashArray())
+        np.testing.assert_array_equal(via_tracker.trace.timestamps, new.timestamps)
+        np.testing.assert_array_equal(via_tracker.async_indices, async_indices)
+        np.testing.assert_allclose(
+            via_tracker.extraction.tidle_us, extraction.tidle_us
+        )
+        assert via_tracker.metrics == metrics
+
+    def test_metrics_populated(self, old_trace, flash):
+        result = TraceTracker().reconstruct(old_trace, flash)
+        metrics = result.metrics
+        assert isinstance(metrics, ReconstructionMetrics)
+        assert metrics.n_requests == len(old_trace)
+        assert metrics.old_duration_us == pytest.approx(old_trace.duration)
+        assert metrics.new_duration_us == pytest.approx(result.trace.duration)
+        assert metrics.n_chunks == 1
+        assert metrics.used_measured_tsdev
+        assert metrics.speedup > 1.0  # flash replays an HDD trace faster
+
+    def test_postprocess_stage_optional(self, old_trace):
+        pipeline = StagedReconstructionPipeline(TraceTrackerConfig(postprocess=False))
+        assert pipeline.postprocess is None
+
+
+class TestStreaming:
+    @pytest.mark.parametrize("chunk_size", [50, 333, 5_000])
+    def test_stream_preserves_pattern_and_length(self, old_trace, chunk_size):
+        device = ConstantLatencyDevice(SATA_600, read_us=80.0, write_us=120.0)
+        streamed = TraceTracker().reconstruct_stream(
+            chunked(old_trace, chunk_size), device
+        )
+        assert len(streamed.trace) == len(old_trace)
+        np.testing.assert_array_equal(streamed.trace.lbas, old_trace.lbas)
+        np.testing.assert_array_equal(streamed.trace.ops, old_trace.ops)
+        assert np.all(np.diff(streamed.trace.timestamps) >= 0)
+
+    @pytest.mark.parametrize("chunk_size", [100, 999])
+    def test_stream_matches_whole_trace_closely(self, old_trace, chunk_size):
+        """Gap-invariant device: chunking changes results only at rounding."""
+        tracker = TraceTracker()
+        device = ConstantLatencyDevice(SATA_600, read_us=80.0, write_us=120.0)
+        whole = tracker.reconstruct(old_trace, device)
+        streamed = tracker.reconstruct_stream(chunked(old_trace, chunk_size), device)
+        np.testing.assert_allclose(
+            streamed.trace.timestamps, whole.trace.timestamps, rtol=1e-9, atol=1e-6
+        )
+        assert streamed.metrics.n_async_gaps == whole.metrics.n_async_gaps
+        assert streamed.metrics.slept_idle_us == pytest.approx(
+            whole.metrics.slept_idle_us
+        )
+        assert streamed.metrics.n_chunks == -(-len(old_trace) // chunk_size)
+
+    def test_stream_on_flash_array(self, old_trace, flash):
+        streamed = TraceTracker().reconstruct_stream(chunked(old_trace, 250), flash)
+        whole = TraceTracker().reconstruct(old_trace, FlashArray())
+        assert len(streamed.trace) == len(whole.trace)
+        assert streamed.trace.duration == pytest.approx(whole.trace.duration, rel=0.01)
+
+    def test_single_request_stream(self, old_trace):
+        device = ConstantLatencyDevice(SATA_600)
+        one = old_trace.select(slice(0, 1))
+        streamed = TraceTracker().reconstruct_stream(iter([one]), device)
+        assert len(streamed.trace) == 1
+
+    def test_tiny_chunks(self, old_trace):
+        device = ConstantLatencyDevice(SATA_600)
+        head = old_trace.select(slice(0, 6))
+        streamed = TraceTracker().reconstruct_stream(chunked(head, 1), device)
+        assert len(streamed.trace) == 6
+
+    def test_empty_chunks_skipped(self, old_trace):
+        device = ConstantLatencyDevice(SATA_600)
+        head = old_trace.select(slice(0, 10))
+        pieces = [
+            head.select(slice(0, 0)),
+            head.select(slice(0, 5)),
+            head.select(slice(5, 5)),
+            head.select(slice(5, 10)),
+        ]
+        streamed = TraceTracker().reconstruct_stream(iter(pieces), device)
+        assert len(streamed.trace) == 10
+
+    def test_empty_stream_rejected(self):
+        device = ConstantLatencyDevice(SATA_600)
+        with pytest.raises(ValueError, match="empty stream"):
+            TraceTracker().reconstruct_stream(iter([]), device)

@@ -1,0 +1,134 @@
+"""Chunked TraceReader: whole-file parity across dialects and stores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    BlockTrace,
+    TraceReader,
+    TraceStreamError,
+    dump_trace,
+    load_trace,
+    save_trace_npz,
+    write_csv,
+)
+
+
+def assert_identical(a: BlockTrace, b: BlockTrace) -> None:
+    for column in ("timestamps", "lbas", "sizes", "ops", "issues", "completes", "syncs"):
+        ca, cb = getattr(a, column), getattr(b, column)
+        assert (ca is None) == (cb is None), column
+        if ca is not None:
+            np.testing.assert_array_equal(ca, cb, err_msg=column)
+
+
+@pytest.fixture()
+def trace_files(tmp_path):
+    """One ~200-request file per text dialect, plus an npz."""
+    n = 200
+    rng = np.random.default_rng(3)
+    ts = np.cumsum(rng.integers(1, 10**6, n))
+    lbas = rng.integers(0, 1 << 32, n)
+    sizes = rng.integers(1, 128, n)
+    ops = rng.integers(0, 2, n)
+    dev = rng.integers(1, 10**5, n)
+    spell = ["Read" if o == 0 else "Write" for o in ops]
+    files = {}
+    (tmp_path / "t.msrc").write_text(
+        "\n".join(
+            f"{ts[i]},host,0,{spell[i]},{lbas[i] * 512},{sizes[i] * 512},{dev[i]}"
+            for i in range(n)
+        )
+    )
+    files["msrc"] = tmp_path / "t.msrc"
+    (tmp_path / "t.fiu").write_text(
+        "\n".join(
+            f"{ts[i] / 1e6:.6f} 1 p {lbas[i]} {sizes[i]} {spell[i][0]} 8 1"
+            for i in range(n)
+        )
+    )
+    files["fiu"] = tmp_path / "t.fiu"
+    (tmp_path / "t.msps").write_text(
+        "\n".join(
+            f"{ts[i]:.3f} {ts[i] + dev[i]:.3f} {spell[i][0]} {lbas[i]} {sizes[i]}"
+            for i in range(n)
+        )
+    )
+    files["msps"] = tmp_path / "t.msps"
+    internal = load_trace(files["msrc"], fmt="msrc")
+    with (tmp_path / "t.csv").open("w") as handle:
+        write_csv(internal, handle)
+    files["internal"] = tmp_path / "t.csv"
+    save_trace_npz(internal, tmp_path / "t.npz")
+    files["npz"] = tmp_path / "t.npz"
+    return files
+
+
+class TestParity:
+    @pytest.mark.parametrize("fmt", ["msrc", "fiu", "msps", "internal"])
+    @pytest.mark.parametrize("chunk_requests", [1, 7, 64, 10_000])
+    def test_chunked_equals_whole(self, trace_files, fmt, chunk_requests):
+        whole = load_trace(trace_files[fmt], fmt=fmt)
+        chunked = TraceReader(
+            trace_files[fmt], fmt=fmt, chunk_requests=chunk_requests
+        ).read()
+        assert_identical(whole, chunked)
+        assert chunked.name == whole.name
+
+    @pytest.mark.parametrize("chunk_requests", [7, 300])
+    def test_npz_chunked_equals_whole(self, trace_files, chunk_requests):
+        whole = load_trace(trace_files["npz"], fmt="npz")
+        chunked = TraceReader(
+            trace_files["npz"], fmt="npz", chunk_requests=chunk_requests
+        ).read()
+        assert_identical(whole, chunked)
+
+    def test_chunks_are_bounded_ordered_and_complete(self, trace_files):
+        chunks = list(TraceReader(trace_files["msrc"], fmt="msrc", chunk_requests=64))
+        assert all(len(c) <= 64 for c in chunks)
+        assert sum(len(c) for c in chunks) == 200
+        for earlier, later in zip(chunks, chunks[1:]):
+            assert later.timestamps[0] >= earlier.timestamps[-1]
+
+    def test_first_chunk_starts_at_zero_for_rebased_dialects(self, trace_files):
+        first = next(iter(TraceReader(trace_files["msrc"], fmt="msrc", chunk_requests=10)))
+        assert first.timestamps[0] == 0.0
+
+
+class TestEdges:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.msrc"
+        path.write_text("# nothing but comments\n\n")
+        reader = TraceReader(path, fmt="msrc")
+        assert list(reader) == []
+        assert len(reader.read()) == 0
+
+    def test_unsorted_across_chunks_raises(self, tmp_path):
+        rows = [f"{t}.0 {t}.5 R 0 8" for t in (100, 200, 50, 60)]
+        path = tmp_path / "u.msps"
+        path.write_text("\n".join(rows))
+        with pytest.raises(TraceStreamError, match="time-sorted"):
+            list(TraceReader(path, fmt="msps", chunk_requests=2))
+
+    def test_whole_file_load_still_sorts_that_input(self, tmp_path):
+        rows = [f"{t}.0 {t}.5 R 0 8" for t in (100, 200, 50, 60)]
+        path = tmp_path / "u.msps"
+        path.write_text("\n".join(rows))
+        trace = load_trace(path, fmt="msps")
+        assert np.all(np.diff(trace.timestamps) >= 0)
+
+    def test_bad_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            TraceReader(tmp_path / "x", fmt="nope")
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk_requests"):
+            TraceReader(tmp_path / "x", chunk_requests=0)
+
+    def test_streams_npz_from_dump_trace(self, tmp_path):
+        trace = BlockTrace([0.0, 1.0, 2.0], [0, 8, 16], [8, 8, 8], [0, 1, 0], name="z")
+        path = dump_trace(trace, tmp_path / "z.npz", fmt="npz")
+        chunks = list(TraceReader(path, fmt="npz", chunk_requests=2))
+        assert [len(c) for c in chunks] == [2, 1]

@@ -1,0 +1,177 @@
+"""Binary trace store (.npz) and the content-keyed TraceStore cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    BlockTrace,
+    TraceStore,
+    TraceStoreError,
+    dump_trace,
+    load_trace,
+    load_trace_npz,
+    save_trace_npz,
+)
+from repro.trace.io import cache as cache_module
+from repro.trace.io import store as store_module
+
+
+def make_trace(with_dev: bool = True, with_sync: bool = True, n: int = 64) -> BlockTrace:
+    rng = np.random.default_rng(7)
+    ts = np.cumsum(rng.random(n) * 100.0)
+    ts -= ts[0]
+    return BlockTrace(
+        timestamps=ts,
+        lbas=rng.integers(0, 1 << 40, n),
+        sizes=rng.integers(1, 256, n),
+        ops=rng.integers(0, 2, n).astype(np.int8),
+        issues=ts + 0.5 if with_dev else None,
+        completes=ts + rng.random(n) * 50 + 1 if with_dev else None,
+        syncs=rng.random(n) < 0.5 if with_sync else None,
+        name="store-test",
+        metadata={"category": "TEST", "n_user_idles": 3, "total_user_idle_us": 12.5},
+    )
+
+
+def assert_identical(a: BlockTrace, b: BlockTrace) -> None:
+    for column in ("timestamps", "lbas", "sizes", "ops", "issues", "completes", "syncs"):
+        ca, cb = getattr(a, column), getattr(b, column)
+        assert (ca is None) == (cb is None), column
+        if ca is not None:
+            np.testing.assert_array_equal(ca, cb, err_msg=column)
+    assert a.name == b.name
+    assert a.metadata == b.metadata
+
+
+class TestNpzRoundTrip:
+    @pytest.mark.parametrize("with_dev", [True, False])
+    @pytest.mark.parametrize("with_sync", [True, False])
+    def test_all_column_combinations(self, tmp_path, with_dev, with_sync):
+        trace = make_trace(with_dev=with_dev, with_sync=with_sync)
+        path = save_trace_npz(trace, tmp_path / "t.npz")
+        assert_identical(trace, load_trace_npz(path))
+
+    def test_mmap_load_is_identical_and_mapped(self, tmp_path):
+        trace = make_trace()
+        path = save_trace_npz(trace, tmp_path / "t.npz")
+        loaded = load_trace_npz(path, mmap=True)
+        assert_identical(trace, loaded)
+        # asarray strips the memmap subclass but keeps the mapping.
+        assert isinstance(loaded.timestamps.base, np.memmap)
+        assert not loaded.timestamps.flags.writeable
+
+    def test_compressed_round_trip(self, tmp_path):
+        trace = make_trace()
+        path = save_trace_npz(trace, tmp_path / "t.npz", compress=True)
+        assert_identical(trace, load_trace_npz(path))
+        # mmap silently falls back to a normal load for compressed files.
+        assert_identical(trace, load_trace_npz(path, mmap=True))
+
+    def test_empty_trace(self, tmp_path):
+        trace = BlockTrace([], [], [], [], name="empty")
+        path = save_trace_npz(trace, tmp_path / "e.npz")
+        for mmap in (False, True):
+            loaded = load_trace_npz(path, mmap=mmap)
+            assert len(loaded) == 0 and loaded.name == "empty"
+
+    def test_version_mismatch_rejected(self, tmp_path, monkeypatch):
+        trace = make_trace()
+        path = save_trace_npz(trace, tmp_path / "t.npz")
+        monkeypatch.setattr(store_module, "STORE_FORMAT_VERSION", 2)
+        with pytest.raises(TraceStoreError, match="version"):
+            load_trace_npz(path)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(TraceStoreError):
+            load_trace_npz(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.arange(4))
+        with pytest.raises(TraceStoreError, match="missing columns"):
+            load_trace_npz(path)
+
+    def test_dump_and_load_trace_integration(self, tmp_path):
+        trace = make_trace()
+        path = dump_trace(trace, tmp_path / "t.npz", fmt="npz")
+        assert_identical(trace, load_trace(path, fmt="npz"))
+
+
+class TestTraceStore:
+    def test_get_or_build_builds_once(self, tmp_path):
+        store = TraceStore(root=tmp_path / "cache")
+        trace = make_trace()
+        calls: list[int] = []
+
+        def build() -> BlockTrace:
+            calls.append(1)
+            return trace
+
+        key = store.key_for("workload", "device")
+        first = store.get_or_build(key, build)
+        second = store.get_or_build(key, build)
+        assert calls == [1]
+        assert store.misses == 1 and store.hits == 1
+        assert_identical(first, trace)
+        assert_identical(second, trace)
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        store = TraceStore(root=tmp_path / "cache")
+        assert store.key_for("a", "b") != store.key_for("a", "c")
+        assert store.key_for("a", "b") != store.key_for("ab", "")
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        store = TraceStore(root=tmp_path / "cache")
+        trace = make_trace()
+        key = store.key_for("k")
+        store.save(key, trace)
+        assert store.load(key) is not None
+        # A format bump must orphan the old entry (fresh path) so the
+        # next lookup misses and rebuilds.
+        monkeypatch.setattr(store_module, "STORE_FORMAT_VERSION", 99)
+        monkeypatch.setattr(cache_module, "STORE_FORMAT_VERSION", 99)
+        assert store.load(key) is None
+        assert store.path_for(key).name.startswith("v99-")
+
+    def test_corrupt_entry_counts_as_miss_and_rebuilds(self, tmp_path):
+        store = TraceStore(root=tmp_path / "cache")
+        trace = make_trace()
+        key = store.key_for("k")
+        store.save(key, trace)
+        store.path_for(key).write_bytes(b"garbage")
+        rebuilt = store.get_or_build(key, lambda: trace)
+        assert_identical(rebuilt, trace)
+        assert store.load(key) is not None  # overwritten with good bytes
+
+    def test_disabled_store_never_touches_disk(self, tmp_path):
+        store = TraceStore(root=tmp_path / "cache", enabled=False)
+        trace = make_trace()
+        calls: list[int] = []
+
+        def build() -> BlockTrace:
+            calls.append(1)
+            return trace
+
+        key = store.key_for("k")
+        store.get_or_build(key, build)
+        store.get_or_build(key, build)
+        assert calls == [1, 1]
+        assert not (tmp_path / "cache").exists()
+
+    def test_default_store_env_gating(self, tmp_path, monkeypatch):
+        from repro.trace.io.cache import get_default_store, set_default_store
+
+        set_default_store(None)
+        monkeypatch.delenv("REPRO_TRACE_STORE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_TRACE_STORE", "0")
+        assert not get_default_store().enabled
+        set_default_store(None)
+        monkeypatch.setenv("REPRO_TRACE_STORE_DIR", str(tmp_path / "s"))
+        monkeypatch.delenv("REPRO_TRACE_STORE", raising=False)
+        store = get_default_store()
+        assert store.enabled and store.root == tmp_path / "s"
+        set_default_store(None)
