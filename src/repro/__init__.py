@@ -33,8 +33,22 @@ Subpackages
     The TraceTracker pipeline and the baseline methods.
 ``repro.metrics``
     Verification statistics, trace comparisons, idle breakdowns.
+``repro.experiments``
+    Evaluation nodes, OLD/NEW pairs, per-figure experiments, the
+    parallel experiment runner (``repro-report``).
+``repro.campaign``
+    Declarative device x workload sweep campaigns with resumable
+    sharded execution (``repro-campaign``).
 """
 
+from .campaign import (
+    CampaignEngine,
+    CampaignSpec,
+    DeviceSpec,
+    ResultsTable,
+    load_spec,
+    run_campaign,
+)
 from .core import (
     Acceleration,
     Dynamic,
@@ -65,7 +79,18 @@ from .storage import (
     InterfaceChannel,
     StorageDevice,
 )
-from .trace import BlockTrace, IORecord, OpType, TraceBuilder, dump_trace, load_trace
+from .trace import (
+    BlockTrace,
+    IORecord,
+    OpType,
+    TraceBuilder,
+    TraceReader,
+    TraceStore,
+    dump_trace,
+    load_trace,
+    load_trace_npz,
+    save_trace_npz,
+)
 from .workloads import (
     WorkloadSpec,
     collect_trace,
@@ -78,6 +103,12 @@ from .workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignEngine",
+    "CampaignSpec",
+    "DeviceSpec",
+    "ResultsTable",
+    "load_spec",
+    "run_campaign",
     "Acceleration",
     "Dynamic",
     "FixedThreshold",
@@ -106,7 +137,11 @@ __all__ = [
     "IORecord",
     "OpType",
     "TraceBuilder",
+    "TraceReader",
+    "TraceStore",
     "load_trace",
+    "load_trace_npz",
+    "save_trace_npz",
     "dump_trace",
     "WorkloadSpec",
     "collect_trace",

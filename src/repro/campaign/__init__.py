@@ -1,0 +1,54 @@
+"""Scenario campaign engine: declarative device x workload sweeps.
+
+The paper's promise is that a reconstructed trace can be re-evaluated
+against *any* storage configuration.  This package is the orchestration
+layer that makes that practical at scale:
+
+- :mod:`~repro.campaign.spec` — a declarative campaign description
+  (:class:`CampaignSpec`), loadable from YAML/JSON, naming the device
+  grid, the workload selection, the method and size axes, and the
+  action to run at every grid point;
+- :mod:`~repro.campaign.devices` — the device registry that turns a
+  small parameter dict (``{"kind": "flash_array", "n_ssds": 2}``) into
+  a concrete :class:`~repro.storage.device.StorageDevice`;
+- :mod:`~repro.campaign.plan` — deterministic cross-product expansion
+  into :class:`RunPoint` grid points with stable, content-derived run
+  keys (the unit of checkpointing and resumption);
+- :mod:`~repro.campaign.engine` — :class:`CampaignEngine`, which shards
+  the plan across the experiment runner's process pool, checkpoints
+  every completed run key to disk, and resumes interrupted campaigns
+  without recomputing anything;
+- :mod:`~repro.campaign.results` — :class:`ResultsTable`, the columnar
+  aggregate consumed by the ``repro-campaign`` CLI and the reporting
+  helpers.
+
+The paper figures that sweep the workload catalog
+(:func:`~repro.experiments.figures.fig13_intt_gap` and friends) are
+defined *as* campaign specs, so a new scenario — a RAID-width scan, a
+device grid, a queue-depth sweep — is a ten-line YAML file rather than
+a new module.  See ``examples/*.yaml`` and ``docs/architecture.md``.
+"""
+
+from .devices import DEVICE_KINDS, DEVICE_PRESETS, build_device
+from .engine import CampaignEngine, CampaignResult, run_campaign
+from .plan import CampaignPlan, RunPoint, expand, run_key
+from .results import ResultsTable
+from .spec import CampaignSpec, DeviceSpec, load_spec, loads_spec
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignPlan",
+    "CampaignResult",
+    "CampaignSpec",
+    "DEVICE_KINDS",
+    "DEVICE_PRESETS",
+    "DeviceSpec",
+    "ResultsTable",
+    "RunPoint",
+    "build_device",
+    "expand",
+    "load_spec",
+    "loads_spec",
+    "run_campaign",
+    "run_key",
+]

@@ -1,0 +1,174 @@
+"""The ``repro-campaign`` command line interface.
+
+Three subcommands over the campaign engine:
+
+``repro-campaign run <spec> [--out-dir D] [--jobs N] [--limit N] ...``
+    Execute a campaign spec (YAML/JSON), sharded over the process
+    pool, checkpointing every completed run key under
+    ``<out_dir>/runs/``.  Re-running the same command after an
+    interruption resumes from the checkpoints; the final table lands
+    in ``results.npz``/``results.csv``/``report.md``.
+
+``repro-campaign plan <spec> [--limit N]``
+    Print the expanded grid (one line per point with its run key)
+    without executing anything — the dry-run for new specs.
+
+``repro-campaign report <out_dir> [--format md|csv]``
+    Re-render the aggregated table of a finished (or partial) campaign
+    directory.
+
+Exit status is non-zero on bad specs, unknown paths, or a grid point
+failure (already-completed points stay checkpointed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import CampaignEngine, _load_checkpoint
+from .plan import expand, run_key
+from .results import ResultsTable
+from .spec import CampaignSpec, load_spec
+
+__all__ = ["main"]
+
+
+def default_out_dir(spec: CampaignSpec) -> Path:
+    """``campaign-out/<name>`` under the current working directory."""
+    return Path("campaign-out") / spec.name
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    if args.limit is not None:
+        spec = spec.with_limit(args.limit)
+    out_dir = Path(args.out_dir) if args.out_dir else default_out_dir(spec)
+    engine = CampaignEngine(
+        spec,
+        out_dir=out_dir,
+        jobs=args.jobs,
+        use_trace_store=not args.no_trace_store,
+        trace_store_dir=args.trace_store_dir,
+        resume=not args.no_resume,
+    )
+    result = engine.run(log=None if args.quiet else sys.stderr)
+    print(
+        f"campaign {spec.name!r}: {len(result.plan)} point(s) "
+        f"({result.n_resumed} resumed, {result.n_computed} computed)"
+    )
+    print(f"results: {out_dir / 'results.csv'}")
+    print(f"report:  {out_dir / 'report.md'}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    if args.limit is not None:
+        spec = spec.with_limit(args.limit)
+    plan = expand(spec)
+    print(f"campaign {spec.name!r} [{spec.action}]: {len(plan)} point(s)")
+    for point in plan.points:
+        key = run_key(spec, point)
+        print(
+            f"  {key}  workload={point.workload} device={point.device.name} "
+            f"method={point.method} n={point.n_requests}"
+        )
+    return 0
+
+
+def _partial_table(out_dir: Path) -> tuple[ResultsTable, int, int] | None:
+    """Rebuild a table from an interrupted campaign's checkpoints.
+
+    Needs the ``spec.json`` the engine writes when work starts; returns
+    ``(table, completed, total)`` in plan order, or ``None`` when the
+    directory holds no usable campaign state.
+    """
+    spec_path = out_dir / "spec.json"
+    if not spec_path.exists():
+        return None
+    spec = CampaignSpec.from_dict(json.loads(spec_path.read_text(encoding="utf-8")))
+    plan = expand(spec)
+    rows = []
+    for key in plan.keys():
+        row = _load_checkpoint(out_dir, key)
+        if row is not None:
+            rows.append(row)
+    return ResultsTable.from_rows(rows), len(rows), len(plan)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out_dir)
+    table_path = out_dir / "results.npz"
+    if table_path.exists():
+        table = ResultsTable.load_npz(table_path)
+    else:
+        partial = _partial_table(out_dir)
+        if partial is None or len(partial[0]) == 0:
+            print(f"no campaign results under {out_dir}", file=sys.stderr)
+            return 1
+        table, completed, total = partial
+        print(
+            f"partial campaign: {completed}/{total} point(s) checkpointed "
+            f"(re-run `repro-campaign run` to finish)",
+            file=sys.stderr,
+        )
+    if args.format == "csv":
+        print(table.to_csv(), end="")
+    else:
+        print(table.to_markdown())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-campaign`` argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Declarative device x workload sweep campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a campaign spec (resumes from checkpoints)")
+    run.add_argument("spec", help="path to a .yaml/.json campaign spec")
+    run.add_argument("--out-dir", default=None, help="output directory (default campaign-out/<name>)")
+    run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1: inline)")
+    run.add_argument("--limit", type=int, default=None, help="cap the grid at N points (smoke runs)")
+    run.add_argument("--no-resume", action="store_true", help="ignore existing checkpoints")
+    run.add_argument(
+        "--no-trace-store", action="store_true",
+        help="regenerate traces in memory; skip the binary trace store",
+    )
+    run.add_argument(
+        "--trace-store-dir", default=None,
+        help="binary trace-store directory (default: $REPRO_TRACE_STORE_DIR or ~/.cache)",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress progress logging")
+    run.set_defaults(func=_cmd_run)
+
+    plan = sub.add_parser("plan", help="print the expanded grid without running it")
+    plan.add_argument("spec", help="path to a .yaml/.json campaign spec")
+    plan.add_argument("--limit", type=int, default=None, help="cap the grid at N points")
+    plan.set_defaults(func=_cmd_plan)
+
+    report = sub.add_parser("report", help="re-render a campaign directory's results table")
+    report.add_argument("out_dir", help="campaign output directory")
+    report.add_argument("--format", choices=("md", "csv"), default="md")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (the ``repro-campaign`` console script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""Device registry: small parameter dicts to concrete simulators.
+
+A campaign names its device grid declaratively; this module owns the
+mapping from those descriptions to :class:`~repro.storage.device.
+StorageDevice` instances.  Kinds:
+
+``hdd``
+    :class:`~repro.storage.hdd.HDDModel` — geometry knobs (``rpm``,
+    ``avg_seek_ms``, ``track_to_track_ms``, ``sectors_per_track``,
+    ``heads``, ``total_sectors``) plus ``write_back_cache_kb`` and
+    ``seed``.
+``flash``
+    A single :class:`~repro.storage.flash.FlashSSD` — any
+    :class:`~repro.storage.flash.FlashGeometry` field as a knob.
+``flash_array``
+    :class:`~repro.storage.array.FlashArray` — ``n_ssds``,
+    ``stripe_kb``, plus per-member flash-geometry knobs.
+``raid0``
+    :class:`~repro.storage.raid.Raid0` over ``n`` members described by
+    a nested ``member`` dict (any other kind); HDD members get
+    distinct derived seeds so their rotational phases are independent.
+
+Presets reproduce the evaluation-node factories of
+:mod:`repro.experiments.nodes` parameter-for-parameter (``old-node``,
+``new-node``, ``calibration-disk``), so a campaign device resolves to
+a simulator with the *same fingerprint* as the hand-built node — which
+is what lets the figure sweeps run through the campaign path while
+hitting the same trace-store entries bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from ..storage import (
+    PCIE3_X4,
+    SATA_300,
+    SATA_600,
+    FlashArray,
+    FlashGeometry,
+    FlashSSD,
+    HDDGeometry,
+    HDDModel,
+    Raid0,
+    StorageDevice,
+)
+
+__all__ = ["DEVICE_KINDS", "DEVICE_PRESETS", "build_device"]
+
+#: Named host-interface channels a device description may reference.
+_CHANNELS = {"sata300": SATA_300, "sata600": SATA_600, "pcie3x4": PCIE3_X4}
+
+_HDD_GEOMETRY_KEYS = (
+    "rpm", "avg_seek_ms", "track_to_track_ms", "sectors_per_track", "heads", "total_sectors",
+)
+_FLASH_GEOMETRY_KEYS = (
+    "channels", "dies_per_channel", "planes_per_die", "page_kb", "read_us",
+    "program_us", "channel_mb_s", "write_buffer_kb", "buffer_write_us",
+)
+
+#: Preset device descriptions matching :mod:`repro.experiments.nodes`.
+DEVICE_PRESETS: dict[str, dict[str, Any]] = {
+    # The decade-old HDD collection node (old_node()).
+    "old-node": {"kind": "hdd", "seed": 42},
+    # The four-SSD all-flash target (new_node()).
+    "new-node": {"kind": "flash_array", "n_ssds": 4, "stripe_kb": 128},
+    # The enterprise disk of the T_movd calibration (calibration_disk()).
+    "calibration-disk": {
+        "kind": "hdd",
+        "rpm": 7200.0,
+        "avg_seek_ms": 8.9,
+        "track_to_track_ms": 2.0,
+        "sectors_per_track": 2000,
+        "heads": 4,
+        "seed": 7,
+    },
+}
+
+
+def _channel(params: dict[str, Any], default: Any) -> Any:
+    name = params.pop("channel", None)
+    if name is None:
+        return default
+    try:
+        return _CHANNELS[str(name).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown channel {name!r}; known channels: {sorted(_CHANNELS)}"
+        ) from None
+
+
+def _reject_unknown(kind: str, params: dict[str, Any]) -> None:
+    if params:
+        raise ValueError(f"unknown parameter(s) for device kind {kind!r}: {sorted(params)}")
+
+
+def _build_hdd(params: dict[str, Any]) -> HDDModel:
+    geometry_kwargs = {k: params.pop(k) for k in _HDD_GEOMETRY_KEYS if k in params}
+    channel = _channel(params, SATA_300)
+    cache_kb = int(params.pop("write_back_cache_kb", 0))
+    seed = int(params.pop("seed", 42))
+    _reject_unknown("hdd", params)
+    return HDDModel(
+        geometry=HDDGeometry(**geometry_kwargs),
+        channel=channel,
+        write_back_cache_kb=cache_kb,
+        seed=seed,
+    )
+
+
+def _flash_geometry(params: dict[str, Any]) -> FlashGeometry:
+    geometry_kwargs = {k: params.pop(k) for k in _FLASH_GEOMETRY_KEYS if k in params}
+    return FlashGeometry(**geometry_kwargs)
+
+
+def _build_flash(params: dict[str, Any]) -> FlashSSD:
+    geometry = _flash_geometry(params)
+    channel = _channel(params, PCIE3_X4)
+    _reject_unknown("flash", params)
+    return FlashSSD(geometry=geometry, channel=channel)
+
+
+def _build_flash_array(params: dict[str, Any]) -> FlashArray:
+    n_ssds = int(params.pop("n_ssds", 4))
+    stripe_kb = int(params.pop("stripe_kb", 128))
+    geometry = _flash_geometry(params)
+    channel = _channel(params, PCIE3_X4)
+    _reject_unknown("flash_array", params)
+    return FlashArray(n_ssds=n_ssds, stripe_kb=stripe_kb, geometry=geometry, channel=channel)
+
+
+def _build_raid0(params: dict[str, Any]) -> Raid0:
+    n = int(params.pop("n", 2))
+    stripe_kb = int(params.pop("stripe_kb", 64))
+    member = dict(params.pop("member", {"kind": "hdd"}))
+    _reject_unknown("raid0", params)
+    if n <= 0:
+        raise ValueError("raid0 needs at least one member")
+    # Resolve a preset member (e.g. "old-node") down to its base kind
+    # first, so the per-spindle seed derivation below sees "hdd" and
+    # the members really do get independent rotational phases.
+    member_kind = member.pop("kind", "hdd")
+    if member_kind in DEVICE_PRESETS:
+        preset = dict(DEVICE_PRESETS[member_kind])
+        member_kind = preset.pop("kind")
+        member = {**preset, **member}
+    members: list[StorageDevice] = []
+    for i in range(n):
+        desc = dict(member)
+        if member_kind == "hdd":
+            # Distinct rotational-phase seeds per spindle.
+            desc["seed"] = int(desc.get("seed", 42)) + i
+        members.append(build_device(member_kind, desc))
+    return Raid0(members, stripe_kb=stripe_kb)
+
+
+DEVICE_KINDS = {
+    "hdd": _build_hdd,
+    "flash": _build_flash,
+    "flash_array": _build_flash_array,
+    "raid0": _build_raid0,
+}
+
+
+def build_device(kind: str, params: Mapping[str, Any] | None = None) -> StorageDevice:
+    """Build a storage device from a ``(kind, params)`` description.
+
+    ``kind`` may also be a preset name (``old-node``, ``new-node``,
+    ``calibration-disk``), in which case ``params`` override the
+    preset's defaults.  Unknown parameters raise ``ValueError`` — a
+    typo in a campaign spec must not silently fall back to a default.
+    """
+    merged = dict(params or {})
+    if kind in DEVICE_PRESETS:
+        preset = dict(DEVICE_PRESETS[kind])
+        preset_kind = preset.pop("kind")
+        merged = {**preset, **merged}
+        kind = preset_kind
+    try:
+        builder = DEVICE_KINDS[kind]
+    except KeyError:
+        known = sorted(DEVICE_KINDS) + sorted(DEVICE_PRESETS)
+        raise ValueError(f"unknown device kind {kind!r}; known kinds: {known}") from None
+    return builder(merged)

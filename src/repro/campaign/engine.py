@@ -1,0 +1,490 @@
+"""Resumable, sharded execution of campaign plans.
+
+:class:`CampaignEngine` turns a :class:`~repro.campaign.spec.
+CampaignSpec` into a :class:`~repro.campaign.results.ResultsTable`:
+
+1. the plan is expanded (:func:`~repro.campaign.plan.expand`) and every
+   point's run key computed;
+2. keys already checkpointed under ``<out_dir>/runs/`` are loaded back
+   instead of recomputed — an interrupted campaign resumes for free;
+3. the remaining points are split round-robin into shards and fanned
+   out across the experiment runner's process pool
+   (:meth:`~repro.experiments.runner.ParallelRunner.map`), sharing the
+   binary trace store so each catalog trace is materialised once and
+   memory-mapped by every worker;
+4. each worker checkpoints every completed point *as it finishes* (one
+   atomic JSON per run key), so a kill mid-shard loses at most the
+   points in flight;
+5. rows are reassembled in plan order and aggregated column-wise; with
+   an output directory set, ``results.npz``/``results.csv``/
+   ``report.md`` are written alongside the checkpoints.
+
+Actions — what actually runs at a grid point — are small functions over
+the existing pipeline: they collect catalog traces through
+:func:`~repro.workloads.materialize.collect_trace_cached`, build
+OLD/NEW pairs through :func:`~repro.experiments.pairs.build_pair_for`,
+reconstruct with :mod:`~repro.core.baselines` methods, and summarise
+with :mod:`~repro.metrics`.  The figure sweeps in
+:mod:`repro.experiments.figures` are these actions under fixed specs,
+which is what keeps the campaign path bit-identical to the historical
+per-figure loops.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, TextIO
+
+import numpy as np
+
+from ..core.baselines import (
+    Acceleration,
+    Dynamic,
+    FixedThreshold,
+    ReconstructionMethod,
+    Revision,
+    TraceTrackerMethod,
+)
+from ..inference.idle import extract_idle
+from ..metrics.breakdown import average_idle_us, idle_breakdown
+from ..metrics.comparison import intt_gap_stats
+from ..workloads.catalog import get_spec
+from ..workloads.generator import WorkloadSpec
+from ..workloads.materialize import collect_trace_cached
+from .plan import CampaignPlan, RunPoint, expand
+from .results import ResultsTable
+from .spec import CampaignSpec
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignResult",
+    "resolve_method",
+    "run_campaign",
+    "run_point",
+]
+
+#: Trace families whose OLD traces carry device stamps (Section V's
+#: ":math:`T_{sdev}` known" group) — the ``device_times: auto`` rule.
+_STAMPED_FAMILIES = ("MSPS", "MSRC")
+
+
+def resolve_method(text: str) -> ReconstructionMethod:
+    """Parse a campaign method string into a reconstruction method.
+
+    ``tracetracker``, ``dynamic`` and ``revision`` take no argument;
+    ``acceleration:<factor>`` and ``fixed-th:<threshold_us>`` carry
+    their parameter after a colon (defaults: the paper's 100x and
+    10 000 µs).
+    """
+    base, _, arg = text.strip().partition(":")
+    base = base.strip().lower()
+    if base == "tracetracker":
+        return TraceTrackerMethod()
+    if base == "dynamic":
+        return Dynamic()
+    if base == "revision":
+        return Revision()
+    if base == "acceleration":
+        return Acceleration(float(arg) if arg else 100.0)
+    if base in ("fixed-th", "fixed_threshold"):
+        return FixedThreshold(float(arg) if arg else 10_000.0)
+    raise ValueError(
+        f"unknown method {text!r}; use tracetracker, dynamic, revision, "
+        f"acceleration:<factor>, or fixed-th:<threshold_us>"
+    )
+
+
+def _device_times_auto(options: dict[str, Any], wspec: WorkloadSpec) -> bool:
+    """Resolve the ``device_times`` option for a direct collection."""
+    value = options.get("device_times", "auto")
+    if value == "auto":
+        return wspec.category in _STAMPED_FAMILIES
+    return bool(value)
+
+
+def _build_pair(spec: CampaignSpec, point: RunPoint):
+    """OLD/NEW pair for a grid point (campaign devices, shared intents)."""
+    # Imported lazily: ``repro.experiments`` imports the campaign
+    # package at module level (the figure sweeps are campaign specs),
+    # so the reverse import must happen at call time.
+    from ..experiments.pairs import build_pair_for
+
+    value = spec.options.get("device_times", "auto")
+    old_has_device_times = None if value == "auto" else bool(value)
+    return build_pair_for(
+        point.workload,
+        n_requests=point.n_requests,
+        old_has_device_times=old_has_device_times,
+        old_device=spec.source_device.build(),
+        new_device=point.device.build(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Actions
+# ----------------------------------------------------------------------
+
+
+def _action_idle(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
+    """Collect the workload on the point's device and profile its idle.
+
+    The Figure 16/17 computation: idle extraction on the OLD trace,
+    average idle above ``min_idle_us``, and the Tslat/0-10ms/10-100ms/
+    >100ms frequency and period buckets.
+    """
+    wspec = get_spec(point.workload).scaled(point.n_requests)
+    old = collect_trace_cached(
+        wspec,
+        point.device.build(),
+        record_device_times=_device_times_auto(spec.options, wspec),
+    )
+    extraction = extract_idle(old)
+    min_idle_us = float(spec.options.get("min_idle_us", 0.0))
+    breakdown = idle_breakdown(extraction, min_idle_us=min_idle_us)
+    row: dict[str, Any] = {
+        "category": wspec.category,
+        "avg_idle_us": average_idle_us(extraction, min_idle_us=min_idle_us),
+        "idle_frequency": breakdown.idle_frequency(),
+        "idle_period": breakdown.idle_period(),
+    }
+    for bucket, value in breakdown.frequency.items():
+        row[f"freq_{bucket}"] = value
+    for bucket, value in breakdown.period.items():
+        row[f"period_{bucket}"] = value
+    return row
+
+
+def _action_target_diff(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
+    """Reconstruct onto the point's device; gap stats vs the OLD trace.
+
+    The Figure 14 computation: how far the reconstruction's
+    inter-arrival times sit from the trace it was derived from.
+    """
+    pair = _build_pair(spec, point)
+    method = resolve_method(point.method)
+    reconstructed = method.reconstruct(pair.old, point.device.build())
+    stats = intt_gap_stats(pair.old, reconstructed)
+    return {
+        "category": get_spec(point.workload).category,
+        "method_name": method.name,
+        "avg_diff_us": stats["mean_us"],
+        "max_diff_us": stats["max_us"],
+        "signed_avg_us": stats["mean_signed_us"],
+    }
+
+
+#: Memo of (OLD trace, reference reconstruction) per method_gap grid
+#: column.  The method axis varies fastest in plan order, so without
+#: this every method point would rebuild the pair and re-reconstruct
+#: the reference the historical figure loop computed once per
+#: workload.  Everything cached here is deterministic in its key, and
+#: the memo is bounded: at most one entry per distinct (workload,
+#: device, size) combination seen by this process.
+_METHOD_GAP_MEMO: dict[str, tuple[Any, Any]] = {}
+_METHOD_GAP_MEMO_CAP = 256
+
+
+def _method_gap_context(spec: CampaignSpec, point: RunPoint, reference_name: str):
+    """The shared (pair, reference trace) for a method_gap point."""
+    memo_key = json.dumps(
+        {
+            "reference": reference_name,
+            "workload": point.workload,
+            "device": point.device.to_dict(),
+            "source_device": spec.source_device.to_dict(),
+            "n_requests": point.n_requests,
+            "device_times": spec.options.get("device_times", "auto"),
+        },
+        sort_keys=True,
+    )
+    hit = _METHOD_GAP_MEMO.get(memo_key)
+    if hit is not None:
+        return hit
+    pair = _build_pair(spec, point)
+    ref_trace = resolve_method(reference_name).reconstruct(pair.old, point.device.build())
+    if len(_METHOD_GAP_MEMO) >= _METHOD_GAP_MEMO_CAP:
+        _METHOD_GAP_MEMO.clear()
+    _METHOD_GAP_MEMO[memo_key] = (pair, ref_trace)
+    return pair, ref_trace
+
+
+def _action_method_gap(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
+    """Gap between the point's method and a reference reconstruction.
+
+    The Figure 13 computation: both methods reconstruct the same OLD
+    trace onto the same target; the row reports their inter-arrival
+    distance.  The reference defaults to TraceTracker (option
+    ``reference``) and is computed once per (workload, device, size)
+    column, not once per method point.
+    """
+    reference = resolve_method(str(spec.options.get("reference", "tracetracker")))
+    pair, ref_trace = _method_gap_context(spec, point, reference.name)
+    method = resolve_method(point.method)
+    rec_trace = method.reconstruct(pair.old, point.device.build())
+    stats = intt_gap_stats(rec_trace, ref_trace)
+    return {
+        "category": get_spec(point.workload).category,
+        "method_name": method.name,
+        "reference": reference.name,
+        "gap_mean_us": stats["mean_us"],
+        "gap_max_us": stats["max_us"],
+    }
+
+
+def _action_reconstruct(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
+    """The general sweep action: collect on the source, remaster on the
+    point's device, report span/speedup/inter-arrival summaries."""
+    wspec = get_spec(point.workload).scaled(point.n_requests)
+    old = collect_trace_cached(
+        wspec,
+        spec.source_device.build(),
+        record_device_times=_device_times_auto(spec.options, wspec),
+    )
+    method = resolve_method(point.method)
+    new = method.reconstruct(old, point.device.build())
+    old_duration = float(old.duration)
+    new_duration = float(new.duration)
+    if new_duration > 0.0:
+        speedup = old_duration / new_duration
+    else:
+        speedup = float("inf") if old_duration > 0.0 else 1.0
+    return {
+        "category": wspec.category,
+        "method_name": method.name,
+        "old_duration_us": old_duration,
+        "new_duration_us": new_duration,
+        "speedup": speedup,
+        "median_intt_old_us": float(np.median(old.inter_arrival_times())),
+        "median_intt_new_us": float(np.median(new.inter_arrival_times())),
+    }
+
+
+_ACTIONS: dict[str, Callable[[CampaignSpec, RunPoint], dict[str, Any]]] = {
+    "reconstruct": _action_reconstruct,
+    "idle": _action_idle,
+    "target_diff": _action_target_diff,
+    "method_gap": _action_method_gap,
+}
+
+
+def run_point(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
+    """Execute one grid point; returns its flat, JSON-able result row."""
+    row = dict(point.axis_values())
+    row.update(_ACTIONS[spec.action](spec, point))
+    return row
+
+
+# ----------------------------------------------------------------------
+# Checkpointing
+# ----------------------------------------------------------------------
+
+
+def _checkpoint_path(out_dir: Path, key: str) -> Path:
+    return out_dir / "runs" / f"{key}.json"
+
+
+def _write_checkpoint(out_dir: Path, key: str, row: dict[str, Any]) -> None:
+    """Atomically record one completed run key.
+
+    Write-then-rename keeps readers (a resuming campaign, a concurrent
+    ``repro-campaign report``) from ever seeing a torn file; the PID in
+    the temp name keeps parallel shard workers from clobbering each
+    other's in-flight writes.
+    """
+    path = _checkpoint_path(out_dir, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps({"key": key, "row": row}), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(out_dir: Path, key: str) -> dict[str, Any] | None:
+    """A previously checkpointed row, or ``None`` (missing/corrupt)."""
+    path = _checkpoint_path(out_dir, key)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or data.get("key") != key or "row" not in data:
+        return None
+    row = data["row"]
+    return row if isinstance(row, dict) else None
+
+
+def _run_shard(
+    task: tuple[dict[str, Any], list[tuple[int, str]], str | None],
+) -> list[tuple[str, dict[str, Any]]]:
+    """Worker entry point: run one shard of (point index, run key) pairs.
+
+    Module-level (picklable) and self-contained: the spec travels as
+    its dict form and the plan is re-expanded locally — expansion is
+    deterministic, so indices agree with the parent's plan.  Each
+    completed point is checkpointed immediately.
+    """
+    spec_dict, items, out_dir_text = task
+    spec = CampaignSpec.from_dict(spec_dict)
+    plan = expand(spec)
+    out_dir = Path(out_dir_text) if out_dir_text else None
+    results: list[tuple[str, dict[str, Any]]] = []
+    for index, key in items:
+        row = run_point(spec, plan.points[index])
+        if out_dir is not None:
+            _write_checkpoint(out_dir, key, row)
+        results.append((key, row))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """What one engine run produced (and how much of it was resumed)."""
+
+    table: ResultsTable
+    plan: CampaignPlan
+    n_computed: int
+    n_resumed: int
+    out_dir: Path | None
+
+
+class CampaignEngine:
+    """Plans, shards, checkpoints, and aggregates one campaign.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    out_dir:
+        Output/checkpoint directory.  ``None`` (the in-process mode the
+        figure sweeps use) computes everything in memory with no disk
+        traffic.
+    jobs:
+        Worker processes; shards run across the experiment runner's
+        process pool when > 1.
+    use_trace_store / trace_store_dir:
+        Materialise catalog traces once into the binary trace store and
+        memory-map them from every worker (same semantics as
+        ``repro-report``).
+    resume:
+        Load checkpointed run keys instead of recomputing them
+        (default).  ``False`` ignores — but does not delete — existing
+        checkpoints.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        out_dir: str | Path | None = None,
+        jobs: int = 1,
+        use_trace_store: bool = False,
+        trace_store_dir: str | Path | None = None,
+        resume: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.spec = spec
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.jobs = jobs
+        self.use_trace_store = use_trace_store
+        self.trace_store_dir = trace_store_dir
+        self.resume = resume
+
+    def run(self, log: TextIO | None = None) -> CampaignResult:
+        """Execute the campaign; returns the aggregated results.
+
+        Raises whatever a grid point raises — by then every point that
+        finished before the failure is already checkpointed, so rerun
+        to resume.
+        """
+        from ..experiments.runner import ParallelRunner
+
+        plan = expand(self.spec)
+        keys = plan.keys()
+        completed: dict[str, dict[str, Any]] = {}
+        if self.out_dir is not None and self.resume:
+            for key in keys:
+                if key not in completed:
+                    row = _load_checkpoint(self.out_dir, key)
+                    if row is not None:
+                        completed[key] = row
+        pending = [i for i, key in enumerate(keys) if key not in completed]
+        n_resumed = len(plan) - len(pending)
+        if log is not None:
+            log.write(
+                f"[campaign] {self.spec.name}: {len(plan)} point(s), "
+                f"{n_resumed} checkpointed, {len(pending)} to compute "
+                f"(jobs={self.jobs})\n"
+            )
+        if pending:
+            if self.out_dir is not None:
+                self.out_dir.mkdir(parents=True, exist_ok=True)
+                (self.out_dir / "spec.json").write_text(
+                    json.dumps(self.spec.to_dict(), indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+            n_shards = min(len(pending), self.jobs) if self.jobs > 1 else 1
+            shards = plan.shards(n_shards, indices=pending)
+            spec_dict = self.spec.to_dict()
+            out_dir_text = str(self.out_dir) if self.out_dir is not None else None
+            tasks = [
+                (spec_dict, [(i, keys[i]) for i in shard], out_dir_text)
+                for shard in shards
+            ]
+            runner = ParallelRunner(
+                jobs=self.jobs,
+                use_cache=False,
+                use_trace_store=self.use_trace_store,
+                trace_store_dir=self.trace_store_dir,
+            )
+            start = time.perf_counter()
+            for shard_results in runner.map(_run_shard, tasks):
+                completed.update(shard_results)
+            if log is not None:
+                log.write(
+                    f"[campaign] computed {len(pending)} point(s) in "
+                    f"{time.perf_counter() - start:.1f}s\n"
+                )
+        table = ResultsTable.from_rows([completed[key] for key in keys])
+        if self.out_dir is not None:
+            self._write_outputs(table, n_resumed=n_resumed, n_computed=len(pending))
+        return CampaignResult(
+            table=table,
+            plan=plan,
+            n_computed=len(pending),
+            n_resumed=n_resumed,
+            out_dir=self.out_dir,
+        )
+
+    def _write_outputs(self, table: ResultsTable, n_resumed: int, n_computed: int) -> None:
+        """Persist the aggregate next to the checkpoints."""
+        from ..experiments.reporting import campaign_report
+
+        assert self.out_dir is not None
+        table.save_npz(self.out_dir / "results.npz")
+        table.to_csv(self.out_dir / "results.csv")
+        report = campaign_report(
+            self.spec, table, n_resumed=n_resumed, n_computed=n_computed
+        )
+        (self.out_dir / "report.md").write_text(report, encoding="utf-8")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: str | Path | None = None,
+    jobs: int = 1,
+    log: TextIO | None = None,
+) -> ResultsTable:
+    """One-call campaign execution; returns just the results table.
+
+    The figure sweeps call this with the defaults (in-process, silent);
+    the CLI builds a :class:`CampaignEngine` directly for the full
+    checkpoint/report treatment.
+    """
+    return CampaignEngine(spec, out_dir=out_dir, jobs=jobs).run(log=log).table

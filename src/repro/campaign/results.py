@@ -1,0 +1,182 @@
+"""Columnar results table aggregated from campaign run points.
+
+Each completed grid point yields one flat row (axis values plus the
+action's metrics); :class:`ResultsTable` holds the aggregate
+column-wise, mirroring the columnar trace containers: one list per
+column, equal lengths, order = plan order.  The table round-trips
+losslessly through ``.npz`` (NumPy-native columns plus a JSON-encoded
+fallback for mixed columns), renders to CSV and markdown for reports,
+and compares exactly — the property the resume tests rely on
+(interrupted-then-resumed must equal uninterrupted).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ResultsTable"]
+
+
+class ResultsTable:
+    """An ordered, columnar table of campaign results.
+
+    Built from rows (:meth:`from_rows`); columns appear in
+    first-encountered key order, and rows missing a column hold
+    ``None`` there.
+    """
+
+    def __init__(self, columns: dict[str, list[Any]]) -> None:
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        self.columns: dict[str, list[Any]] = {k: list(v) for k, v in columns.items()}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, Any]]) -> "ResultsTable":
+        """Assemble a table from dict rows (column order = key order)."""
+        names: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        columns: dict[str, list[Any]] = {name: [] for name in names}
+        for row in rows:
+            for name in names:
+                columns[name].append(row.get(name))
+        return cls(columns)
+
+    # -- access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultsTable):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __repr__(self) -> str:
+        return f"ResultsTable({len(self)} rows x {len(self.columns)} columns)"
+
+    def column(self, name: str) -> list[Any]:
+        """One column as a list (plan order)."""
+        return list(self.columns[name])
+
+    def rows(self) -> list[dict[str, Any]]:
+        """The table as dict rows (plan order)."""
+        names = list(self.columns)
+        return [
+            {name: self.columns[name][i] for name in names} for i in range(len(self))
+        ]
+
+    def select(self, **conditions: Any) -> "ResultsTable":
+        """Rows whose columns equal every given value (exact match)."""
+        keep = [
+            i
+            for i in range(len(self))
+            if all(self.columns[k][i] == v for k, v in conditions.items())
+        ]
+        return ResultsTable(
+            {name: [values[i] for i in keep] for name, values in self.columns.items()}
+        )
+
+    # -- rendering -----------------------------------------------------
+
+    @staticmethod
+    def _cell(value: Any) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            if value != value or value in (float("inf"), float("-inf")):
+                return str(value)
+            if value == int(value) and abs(value) < 1e15:
+                return f"{value:.1f}"
+            return f"{value:.6g}"
+        return str(value)
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """CSV text (and write it to ``path`` when given)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(list(self.columns))
+        for row in self.rows():
+            writer.writerow([self._cell(v) for v in row.values()])
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_markdown(self) -> str:
+        """A GitHub-flavoured markdown table of the results."""
+        names = list(self.columns)
+        if not names:
+            return "(empty table)"
+        lines = [
+            "| " + " | ".join(names) + " |",
+            "| " + " | ".join("---" for _ in names) + " |",
+        ]
+        for row in self.rows():
+            lines.append("| " + " | ".join(self._cell(v) for v in row.values()) + " |")
+        return "\n".join(lines)
+
+    # -- persistence ---------------------------------------------------
+
+    def save_npz(self, path: str | Path) -> None:
+        """Persist column-wise to a ``.npz`` file.
+
+        Numeric and string columns are stored as native NumPy arrays;
+        columns with ``None`` or mixed types fall back to per-cell JSON
+        strings.  :meth:`load_npz` restores the exact Python values.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for name, values in self.columns.items():
+            if all(isinstance(v, bool) for v in values):
+                arrays[f"b:{name}"] = np.asarray(values, dtype=bool)
+            elif all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+                arrays[f"i:{name}"] = np.asarray(values, dtype=np.int64)
+            elif all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+                arrays[f"f:{name}"] = np.asarray(values, dtype=np.float64)
+            elif all(isinstance(v, str) for v in values):
+                arrays[f"s:{name}"] = np.asarray(values, dtype=np.str_)
+            else:
+                arrays[f"j:{name}"] = np.asarray(
+                    [json.dumps(v, sort_keys=True) for v in values], dtype=np.str_
+                )
+        arrays["order"] = np.asarray(list(self.columns), dtype=np.str_)
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(target, **arrays)
+
+    @classmethod
+    def load_npz(cls, path: str | Path) -> "ResultsTable":
+        """Load a table previously written by :meth:`save_npz`."""
+        with np.load(path, allow_pickle=False) as data:
+            order = [str(name) for name in data["order"]]
+            decoded: dict[str, list[Any]] = {}
+            for stored in data.files:
+                if stored == "order":
+                    continue
+                tag, name = stored.split(":", 1)
+                values = data[stored]
+                if tag == "b":
+                    decoded[name] = [bool(v) for v in values]
+                elif tag == "i":
+                    decoded[name] = [int(v) for v in values]
+                elif tag == "f":
+                    decoded[name] = [float(v) for v in values]
+                elif tag == "s":
+                    decoded[name] = [str(v) for v in values]
+                else:
+                    decoded[name] = [json.loads(str(v)) for v in values]
+        return cls({name: decoded[name] for name in order})

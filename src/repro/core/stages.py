@@ -104,6 +104,7 @@ class InferStage:
     prefer_measured: bool = True
 
     def run(self, old_trace: BlockTrace) -> IdleExtraction:
+        """Decompose every inter-arrival gap of ``old_trace``."""
         return extract_idle(
             old_trace, config=self.config, prefer_measured=self.prefer_measured
         )
@@ -118,6 +119,7 @@ class EmulateStage:
     def run(
         self, old_trace: BlockTrace, target: StorageDevice, idle_us: np.ndarray
     ) -> ReplayResult:
+        """Replay ``old_trace``'s pattern on ``target``, sleeping ``idle_us``."""
         return replay_with_idle_batch(old_trace, target, idle_us=idle_us, method=self.method)
 
 
@@ -133,6 +135,7 @@ class PostprocessStage:
         extraction: IdleExtraction,
         async_indices: np.ndarray,
     ) -> BlockTrace:
+        """Revive asynchronous submission gaps on the replayed trace."""
         # An async submitter still pays the channel hand-off, so each
         # revived gap is floored at the request's measured channel
         # occupancy on the new device.
@@ -157,6 +160,7 @@ class MetricsStage:
         async_indices: np.ndarray,
         n_chunks: int = 1,
     ) -> ReconstructionMetrics:
+        """Fold the stage artefacts into one metrics record."""
         return ReconstructionMetrics(
             n_requests=len(new_trace),
             old_duration_us=old_trace.duration,

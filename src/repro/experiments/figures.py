@@ -19,6 +19,8 @@ import numpy as np
 
 from ..analysis.distribution import EmpiricalCDF, cdf_shape_class
 from ..analysis.interpolation import argmax_derivative, interpolate_cdf
+from ..campaign.engine import run_campaign
+from ..campaign.spec import CampaignSpec, DeviceSpec
 from ..core.baselines import (
     Acceleration,
     Dynamic,
@@ -30,7 +32,7 @@ from ..core.baselines import (
 from ..core.pipeline import TraceTracker
 from ..inference.idle import extract_idle
 from ..inference.movd import calibrate_tmovd, tcdel_profile
-from ..metrics.breakdown import IdleBreakdown, average_idle_us, idle_breakdown
+from ..metrics.breakdown import IdleBreakdown
 from ..metrics.comparison import InttBreakdown, intt_breakdown, intt_gap_stats
 from ..metrics.verification import VerificationScore, score_inference
 from ..trace.stats import WorkloadRow, workload_table
@@ -49,6 +51,10 @@ from .pairs import build_pair_for
 from .reporting import cdf_series
 
 __all__ = [
+    "fig13_campaign_spec",
+    "fig14_campaign_spec",
+    "fig16_campaign_spec",
+    "fig17_campaign_spec",
     "fig1_intt_cdf",
     "fig3_breakdown",
     "fig5_cdf_types",
@@ -98,6 +104,7 @@ class Fig1Result:
     idle_loss_vs_new: dict[str, float]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {
                 "curve": label,
@@ -153,6 +160,7 @@ class Fig3Result:
     revision: dict[str, InttBreakdown]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         out = []
         for name in self.acceleration:
             a = self.acceleration[name].as_percentages()
@@ -198,6 +206,7 @@ class Fig5Result:
     workloads: dict[str, str]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {"distribution": k, "shape_class": v}
             for k, v in {**self.synthetic, **self.workloads}.items()
@@ -246,6 +255,7 @@ class Fig7Result:
     tcdel: dict[str, dict[str, float]]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         out = []
         for name, rep in self.tmovd_rep_us.items():
             row: dict[str, object] = {"workload": name, "tmovd_rep_us": round(rep, 1)}
@@ -288,6 +298,7 @@ class Fig9Result:
     argmax_location_us: dict[str, float]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {
                 "method": m,
@@ -341,6 +352,7 @@ class VerificationSweep:
     scores: dict[float, VerificationScore]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {
                 "group": self.group,
@@ -362,6 +374,7 @@ class Fig10Result:
     unknown: VerificationSweep
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return self.known.rows() + self.unknown.rows()
 
 
@@ -484,6 +497,7 @@ class Fig11Result:
     unknown_fp_us: np.ndarray
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         out = []
         for label, samples in (
             ("tsdev-known", self.known_fp_us),
@@ -531,6 +545,7 @@ class Fig12Result:
     mean_gap_error_us: dict[str, float]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {
                 "curve": k,
@@ -571,6 +586,7 @@ class Fig13Result:
     gaps_us: dict[str, dict[str, float]]  # workload -> method -> gap
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {"workload": w, **{m: round(g, 1) for m, g in per.items()}}
             for w, per in self.gaps_us.items()
@@ -584,19 +600,35 @@ class Fig13Result:
         }
 
 
+def fig13_campaign_spec(
+    workloads: tuple[str, ...] = ALL_WORKLOADS, n_requests: int = 3_000
+) -> CampaignSpec:
+    """Figure 13 as a campaign: catalog x baseline-method grid,
+    ``method_gap`` action against the TraceTracker reference."""
+    return CampaignSpec(
+        name="fig13-intt-gap",
+        description="Figure 13: T_intt difference of each method from TraceTracker.",
+        action="method_gap",
+        workloads=tuple(workloads),
+        devices=(DeviceSpec(name="new-node", kind="new-node"),),
+        methods=("acceleration:100", "revision", "fixed-th:10000", "dynamic"),
+        n_requests=(n_requests,),
+        options={"reference": "tracetracker"},
+    )
+
+
 def fig13_intt_gap(
     workloads: tuple[str, ...] = ALL_WORKLOADS, n_requests: int = 3_000
 ) -> Fig13Result:
-    """Figure 13: T_intt difference of each method from TraceTracker."""
+    """Figure 13: T_intt difference of each method from TraceTracker.
+
+    One instance of the campaign engine (see :func:`fig13_campaign_spec`);
+    the grid rows fold back into the per-workload method dictionaries.
+    """
+    table = run_campaign(fig13_campaign_spec(workloads, n_requests))
     gaps: dict[str, dict[str, float]] = {}
-    for i, name in enumerate(workloads):
-        pair = build_pair_for(name, n_requests=n_requests)
-        tt = TraceTrackerMethod().reconstruct(pair.old, new_node())
-        per: dict[str, float] = {}
-        for method in (Acceleration(100.0), Revision(), FixedThreshold(10_000.0), Dynamic()):
-            rec = method.reconstruct(pair.old, new_node())
-            per[method.name] = intt_gap_stats(rec, tt)["mean_us"]
-        gaps[name] = per
+    for row in table.rows():
+        gaps.setdefault(row["workload"], {})[row["method_name"]] = row["gap_mean_us"]
     return Fig13Result(gaps_us=gaps)
 
 
@@ -609,6 +641,7 @@ class Fig14Result:
     signed_avg_us: dict[str, float]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {
                 "workload": w,
@@ -624,20 +657,36 @@ class Fig14Result:
         return float(np.mean(list(self.signed_avg_us.values())))
 
 
+def fig14_campaign_spec(
+    workloads: tuple[str, ...] = ALL_WORKLOADS, n_requests: int = 3_000
+) -> CampaignSpec:
+    """Figure 14 as a campaign: full catalog, ``target_diff`` action."""
+    return CampaignSpec(
+        name="fig14-target-diff",
+        description="Figure 14: per-workload gap between old traces and reconstructions.",
+        action="target_diff",
+        workloads=tuple(workloads),
+        devices=(DeviceSpec(name="new-node", kind="new-node"),),
+        methods=("tracetracker",),
+        n_requests=(n_requests,),
+    )
+
+
 def fig14_target_diff(
     workloads: tuple[str, ...] = ALL_WORKLOADS, n_requests: int = 3_000
 ) -> Fig14Result:
-    """Figure 14: per-workload gap between old traces and reconstructions."""
+    """Figure 14: per-workload gap between old traces and reconstructions.
+
+    One instance of the campaign engine (see :func:`fig14_campaign_spec`).
+    """
+    table = run_campaign(fig14_campaign_spec(workloads, n_requests))
     avg: dict[str, float] = {}
     mx: dict[str, float] = {}
     signed: dict[str, float] = {}
-    for name in workloads:
-        pair = build_pair_for(name, n_requests=n_requests)
-        tt = TraceTrackerMethod().reconstruct(pair.old, new_node())
-        stats = intt_gap_stats(pair.old, tt)
-        avg[name] = stats["mean_us"]
-        mx[name] = stats["max_us"]
-        signed[name] = stats["mean_signed_us"]
+    for row in table.rows():
+        avg[row["workload"]] = row["avg_diff_us"]
+        mx[row["workload"]] = row["max_diff_us"]
+        signed[row["workload"]] = row["signed_avg_us"]
     return Fig14Result(avg_us=avg, max_us=mx, signed_avg_us=signed)
 
 
@@ -654,6 +703,7 @@ class Fig15Result:
     median_us: dict[str, dict[str, float]]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {
                 "workload": w,
@@ -697,6 +747,7 @@ class Fig16Result:
     category_of: dict[str, str]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         return [
             {
                 "workload": w,
@@ -707,28 +758,40 @@ class Fig16Result:
         ]
 
     def category_means_us(self) -> dict[str, float]:
+        """Mean average-idle per trace family (the figure's grouping)."""
         cats: dict[str, list[float]] = {}
         for w, v in self.avg_idle_us.items():
             cats.setdefault(self.category_of[w], []).append(v)
         return {c: float(np.mean(vs)) for c, vs in cats.items()}
 
 
+def fig16_campaign_spec(
+    workloads: tuple[str, ...] = ALL_WORKLOADS, n_requests: int = 3_000
+) -> CampaignSpec:
+    """Figures 16/17 as a campaign: the ``idle`` action across the
+    catalog, collected on the OLD node, with the user-idle threshold."""
+    return CampaignSpec(
+        name="fig16-avg-idle",
+        description="Figure 16: average T_idle estimated by TraceTracker per workload.",
+        action="idle",
+        workloads=tuple(workloads),
+        devices=(DeviceSpec(name="old-node", kind="old-node"),),
+        methods=("tracetracker",),
+        n_requests=(n_requests,),
+        options={"min_idle_us": USER_IDLE_THRESHOLD_US},
+    )
+
+
 def fig16_avg_idle(
     workloads: tuple[str, ...] = ALL_WORKLOADS, n_requests: int = 3_000
 ) -> Fig16Result:
-    """Figure 16: average T_idle estimated by TraceTracker per workload."""
-    avg: dict[str, float] = {}
-    cats: dict[str, str] = {}
-    for name in workloads:
-        spec = get_spec(name)
-        old = collect_trace_cached(
-            spec.scaled(n_requests),
-            old_node(),
-            record_device_times=spec.category in ("MSPS", "MSRC"),
-        )
-        extraction = extract_idle(old)
-        avg[name] = average_idle_us(extraction, min_idle_us=USER_IDLE_THRESHOLD_US)
-        cats[name] = spec.category
+    """Figure 16: average T_idle estimated by TraceTracker per workload.
+
+    One instance of the campaign engine (see :func:`fig16_campaign_spec`).
+    """
+    table = run_campaign(fig16_campaign_spec(workloads, n_requests))
+    avg = {row["workload"]: row["avg_idle_us"] for row in table.rows()}
+    cats = {row["workload"]: row["category"] for row in table.rows()}
     return Fig16Result(avg_idle_us=avg, category_of=cats)
 
 
@@ -740,6 +803,7 @@ class Fig17Result:
     category_of: dict[str, str]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         out = []
         for w, b in self.breakdowns.items():
             out.append(
@@ -756,33 +820,53 @@ class Fig17Result:
         return out
 
     def category_idle_frequency(self) -> dict[str, float]:
+        """Mean idle-gap frequency per trace family."""
         cats: dict[str, list[float]] = {}
         for w, b in self.breakdowns.items():
             cats.setdefault(self.category_of[w], []).append(b.idle_frequency())
         return {c: float(np.mean(vs)) for c, vs in cats.items()}
 
     def category_idle_period(self) -> dict[str, float]:
+        """Mean idle-time share per trace family."""
         cats: dict[str, list[float]] = {}
         for w, b in self.breakdowns.items():
             cats.setdefault(self.category_of[w], []).append(b.idle_period())
         return {c: float(np.mean(vs)) for c, vs in cats.items()}
 
 
+def fig17_campaign_spec(
+    workloads: tuple[str, ...] = ALL_WORKLOADS, n_requests: int = 3_000
+) -> CampaignSpec:
+    """Figure 17 shares Figure 16's campaign (same ``idle`` rows)."""
+    from dataclasses import replace
+
+    return replace(
+        fig16_campaign_spec(workloads, n_requests),
+        name="fig17-idle-breakdown",
+        description="Figure 17: T_idle breakdown by bucket, frequency and period.",
+    )
+
+
 def fig17_idle_breakdown(
     workloads: tuple[str, ...] = ALL_WORKLOADS, n_requests: int = 3_000
 ) -> Fig17Result:
-    """Figure 17: T_idle breakdown by bucket, frequency and period."""
+    """Figure 17: T_idle breakdown by bucket, frequency and period.
+
+    One instance of the campaign engine — the same ``idle`` grid as
+    Figure 16, read back as per-bucket breakdowns.
+    """
+    from ..metrics.breakdown import IDLE_BUCKETS
+
+    buckets = ["Tslat"] + [label for label, *_ in IDLE_BUCKETS]
+    table = run_campaign(fig17_campaign_spec(workloads, n_requests))
     breakdowns: dict[str, IdleBreakdown] = {}
     cats: dict[str, str] = {}
-    for name in workloads:
-        spec = get_spec(name)
-        old = collect_trace_cached(
-            spec.scaled(n_requests),
-            old_node(),
-            record_device_times=spec.category in ("MSPS", "MSRC"),
+    for row in table.rows():
+        breakdowns[row["workload"]] = IdleBreakdown(
+            frequency={b: row[f"freq_{b}"] for b in buckets},
+            period={b: row[f"period_{b}"] for b in buckets},
         )
-        breakdowns[name] = idle_breakdown(extract_idle(old), min_idle_us=USER_IDLE_THRESHOLD_US)
-        cats[name] = spec.category
+        cats[row["workload"]] = row["category"]
     return Fig17Result(breakdowns=breakdowns, category_of=cats)
 
 
@@ -799,6 +883,7 @@ class Table1Result:
     paper_n_traces: dict[str, int]
 
     def rows(self) -> list[dict[str, object]]:
+        """Printable dict-rows for the report tables."""
         out = []
         for name, row in self.rows_by_workload.items():
             d = row.as_dict()
@@ -807,6 +892,7 @@ class Table1Result:
         return out
 
     def total_traces(self) -> int:
+        """Table I's block-trace inventory total (577 in the paper)."""
         return sum(self.paper_n_traces.values())
 
 

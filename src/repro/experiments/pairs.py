@@ -82,12 +82,19 @@ def build_pair_for(
     workload: str,
     n_requests: int | None = None,
     old_has_device_times: bool | None = None,
+    old_device: StorageDevice | None = None,
+    new_device: StorageDevice | None = None,
 ) -> TracePair:
     """OLD/NEW pair for a named catalog workload.
 
     ``old_has_device_times`` defaults to the workload family's actual
     collection style: MSPS and MSRC traces carry device stamps, FIU
     traces do not (Section V's "T_sdev known / unknown" split).
+
+    ``old_device``/``new_device`` default to the paper's evaluation
+    nodes; the campaign engine passes grid devices here so any
+    (source, target) hardware combination shares this one pair-building
+    code path (and its trace-store keys).
     """
     spec = get_spec(workload)
     if n_requests is not None:
@@ -106,12 +113,15 @@ def build_pair_for(
 
     old = collect_trace_cached(
         spec,
-        old_node(),
+        old_device if old_device is not None else old_node(),
         record_device_times=old_has_device_times,
         intents_factory=shared_intents,
     )
     new = collect_trace_cached(
-        spec, new_node(), record_device_times=True, intents_factory=shared_intents
+        spec,
+        new_device if new_device is not None else new_node(),
+        record_device_times=True,
+        intents_factory=shared_intents,
     )
     return TracePair(
         old=old, new=new, intents=generated[0] if generated else None, spec=spec

@@ -12,8 +12,15 @@ from collections.abc import Iterable, Mapping
 import numpy as np
 
 from ..analysis.distribution import EmpiricalCDF, log_spaced_grid
+from ..campaign.results import ResultsTable
 
-__all__ = ["format_table", "format_cdf_series", "cdf_series", "format_us"]
+__all__ = [
+    "format_table",
+    "format_cdf_series",
+    "cdf_series",
+    "format_us",
+    "campaign_report",
+]
 
 
 def format_us(value_us: float) -> str:
@@ -105,3 +112,60 @@ def format_cdf_series(
             row[f"p{int(q * 100)}"] = format_us(float(xs[idx]))
         rows.append(row)
     return format_table(rows)
+
+
+def campaign_report(
+    spec,
+    table: ResultsTable,
+    n_resumed: int = 0,
+    n_computed: int | None = None,
+) -> str:
+    """Consolidated markdown report for one campaign run.
+
+    Header (what ran, how much was resumed), the full results table,
+    and — when the grid spans several devices or methods — compact
+    per-axis mean summaries of the numeric columns, which is usually
+    the comparison a sweep was run to make.
+    """
+    lines = [f"# Campaign report: {spec.name}", ""]
+    if spec.description:
+        lines += [spec.description.strip(), ""]
+    total = len(table)
+    computed = n_computed if n_computed is not None else total - n_resumed
+    lines += [
+        f"- action: `{spec.action}`",
+        f"- grid points: {total} ({n_resumed} resumed from checkpoint, {computed} computed)",
+        f"- axes: {len(spec.workloads)} workload selector(s) x {len(spec.devices)} device(s)"
+        f" x {len(spec.methods)} method(s) x {len(spec.n_requests)} size(s)",
+        "",
+        "## Results",
+        "",
+        table.to_markdown(),
+        "",
+    ]
+    numeric = [
+        name
+        for name, values in table.columns.items()
+        if values and all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values)
+        and name != "n_requests"
+    ]
+    for axis in ("device", "method"):
+        if axis not in table.columns or not numeric:
+            continue
+        levels = list(dict.fromkeys(table.column(axis)))
+        if len(levels) < 2:
+            continue
+        rows = []
+        for level in levels:
+            subset = table.select(**{axis: level})
+            rows.append(
+                {
+                    axis: level,
+                    **{
+                        name: float(np.mean(subset.column(name)))
+                        for name in numeric
+                    },
+                }
+            )
+        lines += [f"## Mean by {axis}", "", ResultsTable.from_rows(rows).to_markdown(), ""]
+    return "\n".join(lines)

@@ -229,6 +229,40 @@ class ParallelRunner:
 
     # -- execution -----------------------------------------------------
 
+    def map(self, fn: Callable[[object], object], tasks: list[object]) -> list[object]:
+        """Generic fan-out of picklable tasks over the runner's pool.
+
+        ``fn`` runs once per task — inline for ``jobs=1`` (or a single
+        task), across a :class:`~concurrent.futures.
+        ProcessPoolExecutor` otherwise — and results come back in task
+        order.  When the trace store is enabled, the parent and every
+        worker process share it exactly as :meth:`results` arranges,
+        so callers (the campaign engine shards through here) inherit
+        the materialise-once/mmap-everywhere behaviour.
+        """
+        tasks = list(tasks)
+        previous_store = get_default_store()
+        if self.use_trace_store:
+            set_default_store(TraceStore(root=self.trace_store_dir, enabled=True))
+        try:
+            if self.jobs > 1 and len(tasks) > 1:
+                if self.use_trace_store:
+                    initializer, initargs = (
+                        _worker_init_trace_store, (str(self.trace_store_dir),)
+                    )
+                else:
+                    initializer, initargs = None, ()
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(tasks)),
+                    initializer=initializer,
+                    initargs=initargs,
+                ) as pool:
+                    return list(pool.map(fn, tasks))
+            return [fn(task) for task in tasks]
+        finally:
+            if self.use_trace_store:
+                set_default_store(previous_store)
+
     def _selected(self) -> list[tuple[str, str]]:
         return [
             (exp_id, title)

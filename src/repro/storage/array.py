@@ -58,6 +58,7 @@ class FlashArray(StorageDevice):
 
     @property
     def name(self) -> str:
+        """Human-readable model name."""
         return f"flash-array({self.n_ssds}x {self.ssds[0].name})"
 
     def fingerprint(self) -> str:

@@ -224,6 +224,7 @@ class ConstantLatencyDevice(StorageDevice):
 
     @property
     def name(self) -> str:
+        """Human-readable model name."""
         return f"const({self.read_us}/{self.write_us}us)"
 
     fifo_single_server = True

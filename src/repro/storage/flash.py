@@ -182,6 +182,7 @@ class FlashSSD(StorageDevice):
 
     @property
     def name(self) -> str:
+        """Human-readable model name."""
         g = self.geometry
         return f"flash({g.channels}ch/{g.total_dies}die/{g.total_planes}pl)"
 

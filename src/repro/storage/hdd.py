@@ -133,6 +133,7 @@ class HDDModel(StorageDevice):
 
     @property
     def name(self) -> str:
+        """Human-readable model name."""
         return f"hdd({self.geometry.rpm:.0f}rpm)"
 
     def fingerprint(self) -> str:

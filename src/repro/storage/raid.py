@@ -87,6 +87,7 @@ class Raid0(_RaidBase):
 
     @property
     def name(self) -> str:
+        """Human-readable model name."""
         return f"raid0({len(self.members)}x {self.members[0].name})"
 
     def _fragments(self, lba: int, size: int) -> list[tuple[int, int, int]]:
@@ -206,6 +207,7 @@ class Raid1(_RaidBase):
 
     @property
     def name(self) -> str:
+        """Human-readable model name."""
         return f"raid1({len(self.members)}x {self.members[0].name})"
 
     def reset(self) -> None:

@@ -1,0 +1,94 @@
+"""The figure sweeps are campaign instances — bit-identically.
+
+Each test recomputes a figure the way `experiments.figures` did before
+the campaign refactor (inline loops over `build_pair_for` /
+`collect_trace_cached`) and asserts the campaign-backed figure function
+returns *exactly* the same floats.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import (
+    Acceleration,
+    Dynamic,
+    FixedThreshold,
+    Revision,
+    TraceTrackerMethod,
+)
+from repro.experiments import figures
+from repro.experiments.nodes import new_node, old_node
+from repro.experiments.pairs import build_pair_for
+from repro.inference.idle import extract_idle
+from repro.metrics.breakdown import average_idle_us, idle_breakdown
+from repro.metrics.comparison import intt_gap_stats
+from repro.workloads.catalog import get_spec
+from repro.workloads.materialize import collect_trace_cached
+
+WORKLOADS = ("MSNFS", "ikki")
+N = 600
+
+
+def test_fig13_campaign_path_bit_identical():
+    result = figures.fig13_intt_gap(workloads=WORKLOADS, n_requests=N)
+    for name in WORKLOADS:
+        pair = build_pair_for(name, n_requests=N)
+        tt = TraceTrackerMethod().reconstruct(pair.old, new_node())
+        for method in (Acceleration(100.0), Revision(), FixedThreshold(10_000.0), Dynamic()):
+            expected = intt_gap_stats(method.reconstruct(pair.old, new_node()), tt)["mean_us"]
+            assert result.gaps_us[name][method.name] == expected
+
+
+def test_fig14_campaign_path_bit_identical():
+    result = figures.fig14_target_diff(workloads=WORKLOADS, n_requests=N)
+    for name in WORKLOADS:
+        pair = build_pair_for(name, n_requests=N)
+        tt = TraceTrackerMethod().reconstruct(pair.old, new_node())
+        stats = intt_gap_stats(pair.old, tt)
+        assert result.avg_us[name] == stats["mean_us"]
+        assert result.max_us[name] == stats["max_us"]
+        assert result.signed_avg_us[name] == stats["mean_signed_us"]
+
+
+def _old_trace(name: str):
+    spec = get_spec(name)
+    return spec, collect_trace_cached(
+        spec.scaled(N),
+        old_node(),
+        record_device_times=spec.category in ("MSPS", "MSRC"),
+    )
+
+
+def test_fig16_campaign_path_bit_identical():
+    result = figures.fig16_avg_idle(workloads=WORKLOADS, n_requests=N)
+    for name in WORKLOADS:
+        spec, old = _old_trace(name)
+        expected = average_idle_us(
+            extract_idle(old), min_idle_us=figures.USER_IDLE_THRESHOLD_US
+        )
+        assert result.avg_idle_us[name] == expected
+        assert result.category_of[name] == spec.category
+
+
+def test_fig17_campaign_path_bit_identical():
+    result = figures.fig17_idle_breakdown(workloads=WORKLOADS, n_requests=N)
+    for name in WORKLOADS:
+        __, old = _old_trace(name)
+        expected = idle_breakdown(
+            extract_idle(old), min_idle_us=figures.USER_IDLE_THRESHOLD_US
+        )
+        assert result.breakdowns[name] == expected
+
+
+def test_campaign_specs_are_well_formed():
+    for builder in (
+        figures.fig13_campaign_spec,
+        figures.fig14_campaign_spec,
+        figures.fig16_campaign_spec,
+        figures.fig17_campaign_spec,
+    ):
+        spec = builder(workloads=WORKLOADS, n_requests=N)
+        # Round-trips through the dict form (what shard workers receive).
+        from repro.campaign import CampaignSpec, expand
+
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+        assert len(expand(spec)) >= len(WORKLOADS)

@@ -1,0 +1,123 @@
+"""Resume semantics: a killed campaign restarts without recomputation.
+
+The contract under test (ISSUE 3 acceptance): interrupt a campaign
+mid-shard, restart it, and (a) no already-completed run key is
+recomputed, (b) the aggregated table is identical to an uninterrupted
+run's.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.campaign.engine as engine_mod
+from repro.campaign import CampaignEngine, CampaignSpec, DeviceSpec, expand
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="resume-grid",
+        action="reconstruct",
+        workloads=("MSNFS", "ikki", "CFS"),
+        devices=(DeviceSpec("new", "new-node"), DeviceSpec("old", "old-node")),
+        methods=("revision",),
+        n_requests=(200,),
+    )
+
+
+class _KillAfter:
+    """Wrap ``run_point`` to simulate a crash after N completed points."""
+
+    def __init__(self, original, n_points: int):
+        self._original = original
+        self.remaining = n_points
+        self.calls = 0
+
+    def __call__(self, spec, point):
+        if self.remaining == 0:
+            raise KeyboardInterrupt("simulated mid-shard kill")
+        self.remaining -= 1
+        self.calls += 1
+        return self._original(spec, point)
+
+
+@pytest.fixture
+def counted_run_point(monkeypatch):
+    """Count ``run_point`` invocations (and optionally kill mid-run).
+
+    The genuine ``run_point`` is captured once, before any install, so
+    repeated installs within a test never chain through each other.
+    """
+    original = engine_mod.run_point
+
+    def install(kill_after: int | None = None):
+        counter = _KillAfter(original, kill_after if kill_after is not None else 10**9)
+        monkeypatch.setattr(engine_mod, "run_point", counter)
+        return counter
+
+    return install
+
+
+def test_interrupt_then_resume_is_identical(tmp_path: Path, counted_run_point):
+    spec = _spec()
+    n_points = len(expand(spec))
+    assert n_points == 6
+
+    # Ground truth: one uninterrupted run.
+    clean = CampaignEngine(spec, out_dir=tmp_path / "clean").run()
+
+    # Interrupted run: the engine dies after 2 completed points...
+    out = tmp_path / "killed"
+    killer = counted_run_point(kill_after=2)
+    with pytest.raises(KeyboardInterrupt):
+        CampaignEngine(spec, out_dir=out).run()
+    assert killer.calls == 2
+    checkpoints = list((out / "runs").glob("*.json"))
+    assert len(checkpoints) == 2  # completed points persisted before the kill
+    assert not (out / "results.npz").exists()  # no aggregate yet
+
+    # ...and the restart computes exactly the missing keys, none twice.
+    counter = counted_run_point()
+    resumed = CampaignEngine(spec, out_dir=out).run()
+    assert counter.calls == n_points - 2
+    assert resumed.n_resumed == 2 and resumed.n_computed == n_points - 2
+
+    # The aggregate is identical to the uninterrupted run, column for column.
+    assert resumed.table == clean.table
+
+    # A third run touches nothing at all.
+    counter2 = counted_run_point()
+    again = CampaignEngine(spec, out_dir=out).run()
+    assert counter2.calls == 0
+    assert again.n_resumed == n_points and again.table == clean.table
+
+
+def test_no_resume_flag_recomputes(tmp_path: Path, counted_run_point):
+    spec = _spec()
+    out = tmp_path / "camp"
+    CampaignEngine(spec, out_dir=out).run()
+    counter = counted_run_point()
+    result = CampaignEngine(spec, out_dir=out, resume=False).run()
+    assert counter.calls == len(expand(spec))
+    assert result.n_resumed == 0
+
+
+def test_grown_grid_resumes_shared_points(tmp_path: Path, counted_run_point):
+    """Adding an axis value only computes the new points."""
+    small = _spec()
+    out = tmp_path / "camp"
+    CampaignEngine(small, out_dir=out).run()
+    grown = CampaignSpec(
+        name="resume-grid",
+        action="reconstruct",
+        workloads=("MSNFS", "ikki", "CFS", "prxy"),
+        devices=small.devices,
+        methods=small.methods,
+        n_requests=small.n_requests,
+    )
+    counter = counted_run_point()
+    result = CampaignEngine(grown, out_dir=out).run()
+    assert counter.calls == 2  # only prxy x {new, old}
+    assert result.n_resumed == 6 and result.n_computed == 2
