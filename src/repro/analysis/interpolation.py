@@ -125,7 +125,14 @@ class PchipInterpolator(_PiecewiseCubic):
 
 
 def _pchip_slopes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """Fritsch–Carlson knot derivatives for monotone interpolation."""
+    """Fritsch–Carlson knot derivatives, one vectorised pass.
+
+    Elementwise the same IEEE-754 operations (and operand order) as
+    :func:`_pchip_slopes_scalar`, so the result is bit-identical — the
+    property suite asserts it.  Lanes masked to zero (flat or
+    sign-changing secants) may divide by zero inside ``errstate``; the
+    ``where`` discards them before they can propagate.
+    """
     h = np.diff(x)
     delta = np.diff(y) / h
     n = len(x)
@@ -134,6 +141,28 @@ def _pchip_slopes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
         d[:] = delta[0]
         return d
     # Interior knots: weighted harmonic mean when secants share a sign.
+    d_left, d_right = delta[:-1], delta[1:]  # delta[k-1], delta[k] at knot k
+    h_left, h_right = h[:-1], h[1:]  # h[k-1], h[k] at knot k
+    w1 = 2 * h_right + h_left
+    w2 = h_right + 2 * h_left
+    flat = (d_left == 0.0) | (d_right == 0.0) | (np.sign(d_left) != np.sign(d_right))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        harmonic = (w1 + w2) / (w1 / d_left + w2 / d_right)
+    d[1:-1] = np.where(flat, 0.0, harmonic)
+    d[0] = _pchip_endpoint(h[0], h[1], delta[0], delta[1])
+    d[-1] = _pchip_endpoint(h[-1], h[-2], delta[-1], delta[-2])
+    return d
+
+
+def _pchip_slopes_scalar(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Reference knot-at-a-time Fritsch–Carlson loop (bit-identity oracle)."""
+    h = np.diff(x)
+    delta = np.diff(y) / h
+    n = len(x)
+    d = np.zeros(n, dtype=np.float64)
+    if n == 2:
+        d[:] = delta[0]
+        return d
     for k in range(1, n - 1):
         if delta[k - 1] == 0.0 or delta[k] == 0.0 or np.sign(delta[k - 1]) != np.sign(delta[k]):
             d[k] = 0.0
@@ -176,6 +205,15 @@ def _natural_spline_slopes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     Solves the standard tridiagonal system for second derivatives
     ``m`` with natural boundary conditions (``m_0 = m_{n-1} = 0``) via
     the Thomas algorithm, then converts to first derivatives.
+
+    The two Thomas sweeps are inherently sequential recurrences, so
+    "vectorising" them means removing the per-element NumPy scalar
+    indexing: the band arrays are built vectorised, converted to plain
+    Python floats once, and the sweeps run over lists.  The operation
+    sequence is unchanged (Python floats and NumPy scalars are the
+    same IEEE-754 doubles), so the result is bit-identical to
+    :func:`_natural_spline_slopes_scalar` — asserted by the property
+    suite.
     """
     n = len(x)
     h = np.diff(x)
@@ -183,11 +221,47 @@ def _natural_spline_slopes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
         slope = (y[1] - y[0]) / h[0]
         return np.array([slope, slope])
     # Tridiagonal system A m = rhs for interior second derivatives.
+    sub = h[:-1].tolist()  # below diagonal
+    diag = (2 * (h[:-1] + h[1:])).tolist()
+    sup = h[1:].tolist()  # above diagonal
+    rhs = (6 * (np.diff(y[1:]) / h[1:] - np.diff(y[:-1]) / h[:-1])).tolist()
+    # Thomas forward sweep (list-based; ~10x less indexing overhead
+    # than NumPy scalar reads at these sizes).
+    k = n - 2
+    c_prime = [0.0] * k
+    d_prime = [0.0] * k
+    c_prime[0] = sup[0] / diag[0]
+    d_prime[0] = rhs[0] / diag[0]
+    for i in range(1, k):
+        denom = diag[i] - sub[i] * c_prime[i - 1]
+        c_prime[i] = sup[i] / denom if i < k - 1 else 0.0
+        d_prime[i] = (rhs[i] - sub[i] * d_prime[i - 1]) / denom
+    m_interior = [0.0] * k
+    m_interior[k - 1] = d_prime[k - 1]
+    for i in range(k - 2, -1, -1):
+        m_interior[i] = d_prime[i] - c_prime[i] * m_interior[i + 1]
+    m = np.empty(n, dtype=np.float64)
+    m[0] = 0.0
+    m[1:-1] = m_interior
+    m[-1] = 0.0
+    # First derivative at left end of each interval, then the last knot.
+    d = np.empty(n, dtype=np.float64)
+    d[:-1] = (np.diff(y) / h) - h * (2 * m[:-1] + m[1:]) / 6
+    d[-1] = (y[-1] - y[-2]) / h[-1] + h[-1] * (2 * m[-1] + m[-2]) / 6
+    return d
+
+
+def _natural_spline_slopes_scalar(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Reference NumPy-indexed Thomas solve (bit-identity oracle)."""
+    n = len(x)
+    h = np.diff(x)
+    if n == 2:
+        slope = (y[1] - y[0]) / h[0]
+        return np.array([slope, slope])
     sub = h[:-1].copy()  # below diagonal
     diag = 2 * (h[:-1] + h[1:])
     sup = h[1:].copy()  # above diagonal
     rhs = 6 * (np.diff(y[1:]) / h[1:] - np.diff(y[:-1]) / h[:-1])
-    # Thomas forward sweep.
     m_interior = np.zeros(n - 2, dtype=np.float64)
     c_prime = np.zeros(n - 2, dtype=np.float64)
     d_prime = np.zeros(n - 2, dtype=np.float64)
@@ -200,7 +274,6 @@ def _natural_spline_slopes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     for i in range(n - 3, -1, -1):
         m_interior[i] = d_prime[i] - (c_prime[i] * m_interior[i + 1] if i < n - 3 else 0.0)
     m = np.concatenate([[0.0], m_interior, [0.0]])
-    # First derivative at left end of each interval, then the last knot.
     d = np.empty(n, dtype=np.float64)
     d[:-1] = (np.diff(y) / h) - h * (2 * m[:-1] + m[1:]) / 6
     d[-1] = (y[-1] - y[-2]) / h[-1] + h[-1] * (2 * m[-1] + m[-2]) / 6
@@ -242,15 +315,56 @@ def argmax_derivative(
     """
     if samples_per_interval < 1:
         raise ValueError("samples_per_interval must be >= 1")
+    grid = _derivative_grid(interpolant.x, samples_per_interval, log_x)
+    derivs = np.asarray(interpolant.derivative(grid))
+    best = int(np.argmax(derivs))
+    return float(grid[best]), float(derivs[best])
+
+
+def _derivative_grid(x: np.ndarray, samples_per_interval: int, log_x: bool) -> np.ndarray:
+    """The search grid of :func:`argmax_derivative`, built in one shot.
+
+    Replicates NumPy's own ``linspace``/``logspace`` arithmetic lane by
+    lane — ``step = (b - a) / div`` then ``arange * step + a`` (with the
+    degenerate ``step == 0`` rescue NumPy applies), and ``10**grid`` for
+    log intervals — so the points are bit-identical to the per-interval
+    :func:`_derivative_grid_scalar` loop while touching every interval
+    with a handful of array operations instead of two NumPy calls each.
+    """
+    a, b = x[:-1], x[1:]
+    num = samples_per_interval + 1
+    n_intervals = len(a)
+    use_log = (a > 0) & (b > 0) if log_x else np.zeros(n_intervals, dtype=bool)
+    # Endpoints in "construction space": log10 for log intervals (the
+    # masked `where` keeps log10 off non-positive lanes).
+    lo = np.where(use_log, np.log10(np.where(use_log, a, 1.0)), a)
+    hi = np.where(use_log, np.log10(np.where(use_log, b, 1.0)), b)
+    div = num - 1
+    delta = hi - lo
+    step = delta / div
+    base = np.arange(0, num, dtype=np.float64)[None, :]
+    # np.linspace computes `arange * step + start`, except when the step
+    # underflows to zero, where it falls back to `arange / div * delta`.
+    rows = np.where(
+        (step != 0.0)[:, None],
+        base * step[:, None],
+        base / div * delta[:, None],
+    )
+    rows += lo[:, None]
+    np.power(10.0, rows, out=rows, where=use_log[:, None])
+    grid = np.empty(n_intervals * samples_per_interval + 1, dtype=np.float64)
+    grid[:-1] = rows[:, :-1].reshape(-1)
+    grid[-1] = x[-1]
+    return grid
+
+
+def _derivative_grid_scalar(x: np.ndarray, samples_per_interval: int, log_x: bool) -> np.ndarray:
+    """Reference interval-at-a-time grid construction (bit-identity oracle)."""
     pieces = []
-    x = interpolant.x
     for k in range(len(x) - 1):
         a, b = x[k], x[k + 1]
         if log_x and a > 0 and b > 0:
             pieces.append(np.logspace(np.log10(a), np.log10(b), samples_per_interval + 1)[:-1])
         else:
             pieces.append(np.linspace(a, b, samples_per_interval + 1)[:-1])
-    grid = np.concatenate(pieces + [x[-1:]])
-    derivs = np.asarray(interpolant.derivative(grid))
-    best = int(np.argmax(derivs))
-    return float(grid[best]), float(derivs[best])
+    return np.concatenate(pieces + [x[-1:]])

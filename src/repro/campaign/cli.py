@@ -28,7 +28,8 @@ import json
 import sys
 from pathlib import Path
 
-from .engine import CampaignEngine, _load_checkpoint
+from ..perf import PerfRecorder
+from .engine import CHECKPOINT_FORMATS, CampaignEngine, _scan_checkpoints
 from .plan import expand, run_key
 from .results import ResultsTable
 from .spec import CampaignSpec, load_spec
@@ -46,6 +47,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.limit is not None:
         spec = spec.with_limit(args.limit)
     out_dir = Path(args.out_dir) if args.out_dir else default_out_dir(spec)
+    perf = PerfRecorder(enabled=args.perf)
     engine = CampaignEngine(
         spec,
         out_dir=out_dir,
@@ -53,8 +55,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_trace_store=not args.no_trace_store,
         trace_store_dir=args.trace_store_dir,
         resume=not args.no_resume,
+        checkpoint_format=args.checkpoint_format,
+        perf=perf,
     )
     result = engine.run(log=None if args.quiet else sys.stderr)
+    if args.perf:
+        for line in perf.summary_lines():
+            print(f"[perf] {line}", file=sys.stderr)
     print(
         f"campaign {spec.name!r}: {len(result.plan)} point(s) "
         f"({result.n_resumed} resumed, {result.n_computed} computed)"
@@ -91,11 +98,8 @@ def _partial_table(out_dir: Path) -> tuple[ResultsTable, int, int] | None:
         return None
     spec = CampaignSpec.from_dict(json.loads(spec_path.read_text(encoding="utf-8")))
     plan = expand(spec)
-    rows = []
-    for key in plan.keys():
-        row = _load_checkpoint(out_dir, key)
-        if row is not None:
-            rows.append(row)
+    completed = _scan_checkpoints(out_dir, plan.keys())
+    rows = [completed[key] for key in plan.keys() if key in completed]
     return ResultsTable.from_rows(rows), len(rows), len(plan)
 
 
@@ -143,6 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--trace-store-dir", default=None,
         help="binary trace-store directory (default: $REPRO_TRACE_STORE_DIR or ~/.cache)",
+    )
+    run.add_argument(
+        "--checkpoint-format", choices=CHECKPOINT_FORMATS, default="segments",
+        help="per-shard append-only segments (default) or one JSON file per point",
+    )
+    run.add_argument(
+        "--perf", action="store_true",
+        help="print plan/resume/compute/aggregate stage timings to stderr",
     )
     run.add_argument("--quiet", action="store_true", help="suppress progress logging")
     run.set_defaults(func=_cmd_run)

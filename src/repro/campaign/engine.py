@@ -52,6 +52,7 @@ from ..core.baselines import (
 from ..inference.idle import extract_idle
 from ..metrics.breakdown import average_idle_us, idle_breakdown
 from ..metrics.comparison import intt_gap_stats
+from ..perf import PerfRecorder
 from ..workloads.catalog import get_spec
 from ..workloads.generator import WorkloadSpec
 from ..workloads.materialize import collect_trace_cached
@@ -60,6 +61,7 @@ from .results import ResultsTable
 from .spec import CampaignSpec
 
 __all__ = [
+    "CHECKPOINT_FORMATS",
     "CampaignEngine",
     "CampaignResult",
     "resolve_method",
@@ -281,10 +283,146 @@ def run_point(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
 # ----------------------------------------------------------------------
 # Checkpointing
 # ----------------------------------------------------------------------
+#
+# Two formats share the ``<out_dir>/runs/`` directory:
+#
+# - **segments** (default) — each shard worker appends completed points
+#   to its own ``segment-<pid>-<n>.jsonl`` file, one self-contained JSON
+#   line per point, flushed per line.  One open file per shard instead
+#   of a write+rename pair per point, which is what makes large grids'
+#   checkpoint overhead flat.  Crash-safe by construction: a kill can
+#   only tear the final line, and the resume scan skips any line that
+#   does not parse.  Append-only — a resumed campaign opens a fresh
+#   segment and never rewrites an old one.
+# - **json** — the original one-atomic-file-per-point format
+#   (``<key>.json``, write-then-rename), kept as the documented
+#   fallback for tooling that wants to inspect or delete single points.
+#
+# The resume scan reads both, from a single directory listing.
+
+#: Valid values of ``CampaignEngine(checkpoint_format=...)``.
+CHECKPOINT_FORMATS = ("segments", "json")
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".jsonl"
 
 
 def _checkpoint_path(out_dir: Path, key: str) -> Path:
     return out_dir / "runs" / f"{key}.json"
+
+
+class _SegmentWriter:
+    """Append-only checkpoint segment for one shard.
+
+    The file is created lazily on the first append, with an
+    ``O_EXCL`` claim on the first free ``segment-<pid>-<n>.jsonl``
+    name, so concurrent shard workers (distinct pids) and sequential
+    resumed runs (same pid, bumped ``<n>``) never share a segment.
+    Every appended line is flushed immediately: after a kill the file
+    holds every completed point, at worst plus one torn final line the
+    resume scan discards.
+    """
+
+    def __init__(self, out_dir: Path) -> None:
+        self._dir = out_dir / "runs"
+        self._handle: TextIO | None = None
+
+    def _open(self) -> TextIO:
+        self._dir.mkdir(parents=True, exist_ok=True)
+        n = 0
+        while True:
+            path = self._dir / f"{_SEGMENT_PREFIX}{os.getpid()}-{n}{_SEGMENT_SUFFIX}"
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                n += 1
+                continue
+            return os.fdopen(fd, "w", encoding="utf-8")
+
+    def append(self, key: str, row: dict[str, Any]) -> None:
+        """Record one completed run key (one flushed JSON line)."""
+        if self._handle is None:
+            self._handle = self._open()
+        self._handle.write(json.dumps({"key": key, "row": row}) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the segment (a no-op when nothing was appended)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _valid_row(data: Any, key: str | None = None) -> dict[str, Any] | None:
+    """The checkpoint payload's row, or ``None`` when malformed."""
+    if not isinstance(data, dict) or "row" not in data:
+        return None
+    if key is not None and data.get("key") != key:
+        return None
+    row = data["row"]
+    return row if isinstance(row, dict) and isinstance(data.get("key"), str) else None
+
+
+def _scan_checkpoints(out_dir: Path, keys: list[str]) -> dict[str, dict[str, Any]]:
+    """All checkpointed rows for ``keys``, from one directory scan.
+
+    Reads every segment file and exactly the per-point JSON files whose
+    key appears in the listing — a resumed campaign no longer stats
+    ``runs/<key>.json`` once per grid point.  Torn or malformed segment
+    lines (a crash mid-append) and corrupt JSON files are skipped, so
+    those points simply recompute.
+
+    When a key appears more than once (e.g. a ``--no-resume`` rerun
+    after a code change appended fresh lines, or rewrote the key's
+    JSON file), the row from the newest file wins — file mtime, with
+    later lines beating earlier ones inside a segment and filename as
+    the cross-file tiebreak — matching the overwrite semantics the
+    JSON-per-point format always had.
+    """
+    runs_dir = out_dir / "runs"
+    try:
+        with os.scandir(runs_dir) as it:
+            entries = {e.name: e.stat().st_mtime_ns for e in it if e.is_file()}
+    except OSError:
+        return {}
+    wanted = set(keys)
+    best: dict[str, tuple[int, dict[str, Any]]] = {}
+    segments = sorted(
+        (
+            name
+            for name in entries
+            if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+        ),
+        key=lambda name: (entries[name], name),
+    )
+    for name in segments:
+        try:
+            text = (runs_dir / name).read_text(encoding="utf-8")
+        except OSError:
+            continue
+        mtime = entries[name]
+        for line in text.splitlines():
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line of a killed shard
+            row = _valid_row(data)
+            if row is None or data["key"] not in wanted:
+                continue
+            previous = best.get(data["key"])
+            if previous is None or mtime >= previous[0]:
+                best[data["key"]] = (mtime, row)
+    for key in keys:
+        mtime = entries.get(f"{key}.json")
+        if mtime is None:
+            continue
+        previous = best.get(key)
+        if previous is not None and previous[0] > mtime:
+            continue
+        row = _load_checkpoint(out_dir, key)
+        if row is not None:
+            best[key] = (mtime, row)
+    return {key: row for key, (_, row) in best.items()}
 
 
 def _write_checkpoint(out_dir: Path, key: str, row: dict[str, Any]) -> None:
@@ -309,32 +447,43 @@ def _load_checkpoint(out_dir: Path, key: str) -> dict[str, Any] | None:
         data = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError):
         return None
-    if not isinstance(data, dict) or data.get("key") != key or "row" not in data:
-        return None
-    row = data["row"]
-    return row if isinstance(row, dict) else None
+    return _valid_row(data, key)
 
 
 def _run_shard(
-    task: tuple[dict[str, Any], list[tuple[int, str]], str | None],
+    context: tuple[dict[str, Any], str | None, str],
+    items: list[tuple[int, str]],
 ) -> list[tuple[str, dict[str, Any]]]:
     """Worker entry point: run one shard of (point index, run key) pairs.
 
-    Module-level (picklable) and self-contained: the spec travels as
-    its dict form and the plan is re-expanded locally — expansion is
-    deterministic, so indices agree with the parent's plan.  Each
-    completed point is checkpointed immediately.
+    Module-level (picklable) and self-contained: the campaign context
+    ``(spec dict, output dir, checkpoint format)`` arrives once per
+    worker through :meth:`~repro.experiments.runner.ParallelRunner.map`'s
+    initializer — not re-pickled per shard — and the plan is
+    re-expanded locally (expansion is deterministic, so indices agree
+    with the parent's plan).  Each completed point is checkpointed
+    immediately: appended to this shard's segment file, or written as
+    its own atomic JSON under the fallback format.
     """
-    spec_dict, items, out_dir_text = task
+    spec_dict, out_dir_text, checkpoint_format = context
     spec = CampaignSpec.from_dict(spec_dict)
     plan = expand(spec)
     out_dir = Path(out_dir_text) if out_dir_text else None
+    segment = _SegmentWriter(out_dir) if (
+        out_dir is not None and checkpoint_format == "segments"
+    ) else None
     results: list[tuple[str, dict[str, Any]]] = []
-    for index, key in items:
-        row = run_point(spec, plan.points[index])
-        if out_dir is not None:
-            _write_checkpoint(out_dir, key, row)
-        results.append((key, row))
+    try:
+        for index, key in items:
+            row = run_point(spec, plan.points[index])
+            if segment is not None:
+                segment.append(key, row)
+            elif out_dir is not None:
+                _write_checkpoint(out_dir, key, row)
+            results.append((key, row))
+    finally:
+        if segment is not None:
+            segment.close()
     return results
 
 
@@ -376,6 +525,16 @@ class CampaignEngine:
         Load checkpointed run keys instead of recomputing them
         (default).  ``False`` ignores — but does not delete — existing
         checkpoints.
+    checkpoint_format:
+        ``"segments"`` (default) appends completed points to per-shard
+        ``segment-*.jsonl`` files — one open file per shard, flat
+        overhead on large grids; ``"json"`` writes the original one
+        atomic ``<key>.json`` per point.  Resume reads both, so the
+        formats mix freely across runs of one campaign.
+    perf:
+        Optional :class:`~repro.perf.PerfRecorder`; when given, the
+        engine times its ``plan``/``resume_scan``/``compute``/
+        ``aggregate`` phases into it.
     """
 
     def __init__(
@@ -386,15 +545,23 @@ class CampaignEngine:
         use_trace_store: bool = False,
         trace_store_dir: str | Path | None = None,
         resume: bool = True,
+        checkpoint_format: str = "segments",
+        perf: "PerfRecorder | None" = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if checkpoint_format not in CHECKPOINT_FORMATS:
+            raise ValueError(
+                f"unknown checkpoint format {checkpoint_format!r}; use one of {CHECKPOINT_FORMATS}"
+            )
         self.spec = spec
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.jobs = jobs
         self.use_trace_store = use_trace_store
         self.trace_store_dir = trace_store_dir
         self.resume = resume
+        self.checkpoint_format = checkpoint_format
+        self.perf = perf if perf is not None else PerfRecorder(enabled=False)
 
     def run(self, log: TextIO | None = None) -> CampaignResult:
         """Execute the campaign; returns the aggregated results.
@@ -405,15 +572,13 @@ class CampaignEngine:
         """
         from ..experiments.runner import ParallelRunner
 
-        plan = expand(self.spec)
-        keys = plan.keys()
+        with self.perf.stage("plan"):
+            plan = expand(self.spec)
+            keys = plan.keys()
         completed: dict[str, dict[str, Any]] = {}
         if self.out_dir is not None and self.resume:
-            for key in keys:
-                if key not in completed:
-                    row = _load_checkpoint(self.out_dir, key)
-                    if row is not None:
-                        completed[key] = row
+            with self.perf.stage("resume_scan"):
+                completed = _scan_checkpoints(self.out_dir, keys)
         pending = [i for i, key in enumerate(keys) if key not in completed]
         n_resumed = len(plan) - len(pending)
         if log is not None:
@@ -425,18 +590,14 @@ class CampaignEngine:
         if pending:
             if self.out_dir is not None:
                 self.out_dir.mkdir(parents=True, exist_ok=True)
-                (self.out_dir / "spec.json").write_text(
-                    json.dumps(self.spec.to_dict(), indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8",
-                )
+                self._write_spec_once()
             n_shards = min(len(pending), self.jobs) if self.jobs > 1 else 1
             shards = plan.shards(n_shards, indices=pending)
-            spec_dict = self.spec.to_dict()
             out_dir_text = str(self.out_dir) if self.out_dir is not None else None
-            tasks = [
-                (spec_dict, [(i, keys[i]) for i in shard], out_dir_text)
-                for shard in shards
-            ]
+            # The spec dict ships once per worker (map's context
+            # initializer), not once per shard task.
+            context = (self.spec.to_dict(), out_dir_text, self.checkpoint_format)
+            tasks = [[(i, keys[i]) for i in shard] for shard in shards]
             runner = ParallelRunner(
                 jobs=self.jobs,
                 use_cache=False,
@@ -444,16 +605,18 @@ class CampaignEngine:
                 trace_store_dir=self.trace_store_dir,
             )
             start = time.perf_counter()
-            for shard_results in runner.map(_run_shard, tasks):
-                completed.update(shard_results)
+            with self.perf.stage("compute"):
+                for shard_results in runner.map(_run_shard, tasks, context=context):
+                    completed.update(shard_results)
             if log is not None:
                 log.write(
                     f"[campaign] computed {len(pending)} point(s) in "
                     f"{time.perf_counter() - start:.1f}s\n"
                 )
-        table = ResultsTable.from_rows([completed[key] for key in keys])
-        if self.out_dir is not None:
-            self._write_outputs(table, n_resumed=n_resumed, n_computed=len(pending))
+        with self.perf.stage("aggregate"):
+            table = ResultsTable.from_rows([completed[key] for key in keys])
+            if self.out_dir is not None:
+                self._write_outputs(table, n_resumed=n_resumed, n_computed=len(pending))
         return CampaignResult(
             table=table,
             plan=plan,
@@ -461,6 +624,24 @@ class CampaignEngine:
             n_resumed=n_resumed,
             out_dir=self.out_dir,
         )
+
+    def _write_spec_once(self) -> None:
+        """Record the spec next to the checkpoints, skipping no-op rewrites.
+
+        Every resume used to rewrite ``spec.json`` even when nothing
+        changed; now the existing bytes are compared first, so resuming
+        an unchanged campaign touches the file zero times (and the
+        mtime stays meaningful for "when did this grid last change").
+        """
+        assert self.out_dir is not None
+        path = self.out_dir / "spec.json"
+        text = json.dumps(self.spec.to_dict(), indent=2, sort_keys=True) + "\n"
+        try:
+            if path.read_text(encoding="utf-8") == text:
+                return
+        except OSError:
+            pass
+        path.write_text(text, encoding="utf-8")
 
     def _write_outputs(self, table: ResultsTable, n_resumed: int, n_computed: int) -> None:
         """Persist the aggregate next to the checkpoints."""

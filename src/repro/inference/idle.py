@@ -34,14 +34,24 @@ _MODEL_MEMO_MAX = 32
 
 
 def _trace_digest(trace: BlockTrace) -> bytes:
-    """Cheap content fingerprint of the columns inference reads."""
-    h = hashlib.sha1()
+    """Cheap content fingerprint of the columns inference reads.
+
+    Traces materialised through the binary trace store already carry a
+    content fingerprint that uniquely determines every column — reuse
+    it and skip hashing entirely.  Otherwise hash the columns with
+    ``blake2b`` (measurably faster than sha1 at these sizes) fed
+    contiguous memoryviews, so no column is ever copied out to an
+    intermediate ``bytes``.
+    """
+    if trace.content_fingerprint is not None:
+        return trace.content_fingerprint.encode("utf-8")
+    h = hashlib.blake2b(digest_size=20)
     for column in (trace.timestamps, trace.lbas, trace.sizes, trace.ops):
-        h.update(np.ascontiguousarray(column).tobytes())
+        h.update(memoryview(np.ascontiguousarray(column)))
     if trace.has_device_times:
         assert trace.issues is not None and trace.completes is not None
-        h.update(np.ascontiguousarray(trace.issues).tobytes())
-        h.update(np.ascontiguousarray(trace.completes).tobytes())
+        h.update(memoryview(np.ascontiguousarray(trace.issues)))
+        h.update(memoryview(np.ascontiguousarray(trace.completes)))
     return h.digest()
 
 

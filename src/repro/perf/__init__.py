@@ -1,0 +1,19 @@
+"""Lightweight stage timing and counters for the pipeline benchmarks.
+
+The performance subsystem needs one small, dependency-free primitive:
+record how long named stages take (and how often named events happen)
+without perturbing the thing being measured.  :class:`PerfRecorder`
+provides exactly that — monotonic-clock stage timing with
+context-manager ergonomics, best-of-N aggregation, and a JSON-able
+summary — and is shared by ``benchmarks/bench_pipeline.py`` and the
+campaign engine (which times its plan/scan/compute/aggregate phases
+when handed a recorder).
+
+A disabled recorder (``PerfRecorder(enabled=False)``) keeps every call
+site branch-free and costs one attribute check per stage, so production
+paths can stay instrumented unconditionally.
+"""
+
+from .recorder import PerfRecorder, StageStats
+
+__all__ = ["PerfRecorder", "StageStats"]

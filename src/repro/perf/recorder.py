@@ -1,0 +1,135 @@
+"""Monotonic stage timing and event counters.
+
+Everything here is deliberately boring: ``time.perf_counter_ns`` under
+a context manager, per-stage aggregates, plain-dict export.  The value
+is the shared vocabulary — every benchmark stage and every engine phase
+reports through the same :class:`StageStats` shape, so the pipeline
+benchmark, the CI regression gate, and ad-hoc profiling all read one
+format.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["PerfRecorder", "StageStats"]
+
+
+@dataclass
+class StageStats:
+    """Aggregate timing of one named stage.
+
+    Attributes
+    ----------
+    calls:
+        How many times the stage ran.
+    total_s:
+        Summed wall-clock seconds across calls.
+    best_s:
+        Fastest single call (the steady-state figure benchmarks report).
+    last_s:
+        Most recent call.
+    """
+
+    calls: int = 0
+    total_s: float = 0.0
+    best_s: float = float("inf")
+    last_s: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Fold one timed call into the aggregate."""
+        self.calls += 1
+        self.total_s += seconds
+        self.last_s = seconds
+        if seconds < self.best_s:
+            self.best_s = seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able summary (seconds, float)."""
+        return {
+            "calls": self.calls,
+            "total_s": round(self.total_s, 6),
+            "best_s": round(self.best_s, 6) if self.calls else None,
+            "last_s": round(self.last_s, 6),
+        }
+
+
+class PerfRecorder:
+    """Collects named stage timings and event counters.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled recorder records nothing and its :meth:`stage`
+        context manager degenerates to a no-op, so hot paths can stay
+        instrumented unconditionally.
+
+    Usage::
+
+        perf = PerfRecorder()
+        with perf.stage("inference"):
+            estimate_model(trace)
+        perf.count("memo_hit")
+        perf.to_dict()   # {"stages": {...}, "counters": {...}}
+    """
+
+    __slots__ = ("enabled", "stages", "counters")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.stages: dict[str, StageStats] = {}
+        self.counters: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one run of the named stage (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.add_seconds(name, (time.perf_counter_ns() - start) / 1e9)
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under ``name``."""
+        if not self.enabled:
+            return
+        stats = self.stages.get(name)
+        if stats is None:
+            stats = self.stages[name] = StageStats()
+        stats.add(seconds)
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Increment the named event counter."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def best_s(self, name: str) -> float | None:
+        """Fastest recorded call of a stage (``None`` when never run)."""
+        stats = self.stages.get(name)
+        return stats.best_s if stats is not None and stats.calls else None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able dump of every stage and counter."""
+        return {
+            "stages": {name: stats.to_dict() for name, stats in sorted(self.stages.items())},
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable one-line-per-stage summary (best/total/calls)."""
+        lines = []
+        for name, stats in sorted(self.stages.items()):
+            lines.append(
+                f"{name}: best={stats.best_s * 1e3:.2f}ms "
+                f"total={stats.total_s * 1e3:.2f}ms calls={stats.calls}"
+            )
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{name}: {value}")
+        return lines

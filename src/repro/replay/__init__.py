@@ -2,7 +2,7 @@
 
 from .batch import replay_back_to_back_batch, replay_with_idle_batch
 from .collector import TraceCollector
-from .qdepth import replay_queue_depth
+from .qdepth import replay_queue_depth, replay_queue_depth_scalar
 from .postprocess import detect_async_indices, revive_async
 from .replayer import ReplayResult, replay_back_to_back, replay_with_idle
 
@@ -16,4 +16,5 @@ __all__ = [
     "replay_with_idle",
     "replay_with_idle_batch",
     "replay_queue_depth",
+    "replay_queue_depth_scalar",
 ]

@@ -138,7 +138,13 @@ class StorageDevice(abc.ABC):
     #: ``True`` for devices whose queueing is a single FIFO server whose
     #: state is fully described by one "busy until" stamp.  Such devices
     #: admit a closed-form collection recurrence (see
-    #: :func:`repro.workloads.generator.collect_trace`).
+    #: :func:`repro.workloads.generator.collect_trace`).  Combined with
+    #: :meth:`service_batch`, the flag also licenses replay under
+    #: *queued* arrivals: the single server serialises requests, so
+    #: ``_service(t_ready)`` is exactly ``start = max(t_ready, busy);
+    #: finish = start + svc`` with the order-determined ``svc`` the
+    #: batch call returns — which is what lets the queue-depth replay
+    #: engine precompute services for windows deeper than one.
     fifo_single_server: bool = False
 
     def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:

@@ -121,12 +121,19 @@ class TraceStore:
             pass
 
     def get_or_build(self, key: str, build: Callable[[], BlockTrace]) -> BlockTrace:
-        """Return the cached trace for ``key``, building and storing on miss."""
-        cached = self.load(key)
-        if cached is not None:
-            return cached
-        trace = build()
-        self.save(key, trace)
+        """Return the cached trace for ``key``, building and storing on miss.
+
+        Either way the returned trace is stamped with the content key
+        (``content_fingerprint``), so downstream memo layers (the
+        inference-model cache) can key on the stamp instead of
+        re-hashing the columns.  The stamp is valid even for a disabled
+        store: the key describes everything that determined the build.
+        """
+        trace = self.load(key)
+        if trace is None:
+            trace = build()
+            self.save(key, trace)
+        trace.content_fingerprint = f"store:{key}"
         return trace
 
 

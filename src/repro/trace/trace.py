@@ -58,6 +58,7 @@ class BlockTrace:
         "syncs",
         "name",
         "metadata",
+        "content_fingerprint",
     )
 
     def __init__(
@@ -96,6 +97,15 @@ class BlockTrace:
             raise ValueError("timestamps must be non-decreasing; sort before construction")
         self.name = name
         self.metadata = dict(metadata or {})
+        # Optional provenance stamp set *after* construction by the
+        # trace store (:meth:`repro.trace.io.cache.TraceStore.
+        # get_or_build`): a content key that uniquely determines every
+        # column.  Deliberately not a constructor parameter and not
+        # copied by ``select``/``shifted``/``with_timestamps`` — any
+        # derived trace has different columns, so it must start
+        # unstamped.  Consumers (the inference memo) use it to skip
+        # re-hashing multi-million-row columns.
+        self.content_fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # construction helpers

@@ -1,0 +1,175 @@
+"""Bit-identity suite for the vectorised analysis kernels.
+
+The interpolation slope/grid kernels and the fused Algorithm 1 group
+scoring each retain their original scalar implementation as an oracle;
+these property tests assert the production kernels reproduce the
+oracles bit for bit across random and degenerate inputs (two knots,
+near-duplicate knots, flat and non-monotone data, single-atom groups,
+all-zero gap groups).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.interpolation import (
+    CubicSplineInterpolator,
+    PchipInterpolator,
+    _derivative_grid,
+    _derivative_grid_scalar,
+    _natural_spline_slopes,
+    _natural_spline_slopes_scalar,
+    _pchip_slopes,
+    _pchip_slopes_scalar,
+)
+from repro.analysis.steepness import select_steepest, steepness_score
+
+
+@st.composite
+def knot_sets(draw, min_n=2, max_n=64):
+    """Strictly increasing x knots with arbitrary (often flat) y."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=1e-9, max_value=1e5), min_size=n - 1, max_size=n - 1
+        )
+    )
+    x0 = draw(st.floats(min_value=-1e3, max_value=1e6))
+    x = np.concatenate([[x0], x0 + np.cumsum(gaps)])
+    if np.any(np.diff(x) <= 0):  # collapsed by rounding
+        x = x0 + np.arange(n, dtype=np.float64)
+    steps = draw(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=1.0), min_size=n, max_size=n
+        )
+    )
+    y = np.cumsum(np.round(np.asarray(steps), 1))  # frequent exact plateaus
+    return x, y
+
+
+class TestInterpolationKernels:
+    @given(knots=knot_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_pchip_slopes_bit_identical(self, knots):
+        x, y = knots
+        np.testing.assert_array_equal(_pchip_slopes(x, y), _pchip_slopes_scalar(x, y))
+
+    @given(knots=knot_sets(min_n=3))
+    @settings(max_examples=60, deadline=None)
+    def test_spline_slopes_bit_identical(self, knots):
+        x, y = knots
+        np.testing.assert_array_equal(
+            _natural_spline_slopes(x, y), _natural_spline_slopes_scalar(x, y)
+        )
+
+    @given(knots=knot_sets(), spi=st.integers(min_value=1, max_value=24), log_x=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_derivative_grid_bit_identical(self, knots, spi, log_x):
+        x, _ = knots
+        np.testing.assert_array_equal(
+            _derivative_grid(x, spi, log_x), _derivative_grid_scalar(x, spi, log_x)
+        )
+
+    def test_near_duplicate_knots(self):
+        """Adjacent representable doubles: the log10 step can underflow
+        to zero, which exercises NumPy's degenerate linspace branch."""
+        x = np.array([1.0, np.nextafter(1.0, 2.0), 2.0, 1e6])
+        y = np.array([0.0, 0.25, 0.5, 1.0])
+        for log_x in (True, False):
+            np.testing.assert_array_equal(
+                _derivative_grid(x, 16, log_x), _derivative_grid_scalar(x, 16, log_x)
+            )
+        np.testing.assert_array_equal(_pchip_slopes(x, y), _pchip_slopes_scalar(x, y))
+        np.testing.assert_array_equal(
+            _natural_spline_slopes(x, y), _natural_spline_slopes_scalar(x, y)
+        )
+
+    def test_duplicate_knots_rejected_by_both(self):
+        x = np.array([1.0, 1.0, 2.0])
+        y = np.array([0.0, 0.5, 1.0])
+        for cls in (PchipInterpolator, CubicSplineInterpolator):
+            with pytest.raises(ValueError, match="strictly increasing"):
+                cls(x, y)
+
+    def test_mixed_sign_knots_use_linear_pieces(self):
+        x = np.array([-10.0, -1.0, 0.0, 5.0, 1e4])
+        np.testing.assert_array_equal(
+            _derivative_grid(x, 8, True), _derivative_grid_scalar(x, 8, True)
+        )
+
+
+def _results_equal(a, b) -> bool:
+    feq = lambda u, v: u == v or (math.isnan(u) and math.isnan(v))
+    return (
+        feq(a.steepness, b.steepness)
+        and feq(a.utmost_value, b.utmost_value)
+        and feq(a.utmost_mass, b.utmost_mass)
+        and a.n_outliers == b.n_outliers
+        and np.array_equal(a.pmf.values, b.pmf.values)
+        and np.array_equal(a.pmf.masses, b.pmf.masses)
+        and a.pmf.n == b.pmf.n
+        and a.fit.slope == b.fit.slope
+        and a.fit.intercept == b.fit.intercept
+        and a.margin == b.margin
+    )
+
+
+@st.composite
+def gap_groups(draw):
+    """Group dicts covering single-atom, quantised, zero-heavy and
+    continuous gap distributions."""
+    n_groups = draw(st.integers(min_value=1, max_value=10))
+    groups = {}
+    for g in range(n_groups):
+        n = draw(st.integers(min_value=1, max_value=60))
+        kind = draw(st.integers(min_value=0, max_value=3))
+        seed = draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(seed)
+        if kind == 0:
+            arr = np.full(n, float(rng.integers(1, 500)))
+        elif kind == 1:
+            arr = rng.integers(0, 12, n).astype(np.float64) * 7.0
+        elif kind == 2:
+            arr = np.abs(rng.normal(200.0, 3.0, n)) + rng.exponential(1e4, n) * (
+                rng.random(n) < 0.25
+            )
+        else:
+            arr = np.concatenate([np.zeros(n // 2), rng.uniform(0.0, 1e5, n - n // 2)])
+            rng.shuffle(arr)
+        groups[f"g{g}"] = arr
+    return groups
+
+
+class TestFusedSteepness:
+    @given(groups=gap_groups(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_fused_matches_per_group_oracle(self, groups, data):
+        resolution = data.draw(st.sampled_from([None, 0.5, 5.0]))
+        min_samples = data.draw(st.sampled_from([1, 8]))
+        fused = select_steepest(
+            groups, k=len(groups), resolution=resolution, min_samples=min_samples
+        )
+        oracle = [
+            (key, steepness_score(np.asarray(v, dtype=np.float64), resolution=resolution))
+            for key, v in groups.items()
+            if np.asarray(v).size >= min_samples
+        ]
+        oracle.sort(key=lambda pair: (-pair[1].steepness, str(pair[0])))
+        assert len(fused) == len(oracle)
+        for (fused_key, fused_result), (oracle_key, oracle_result) in zip(fused, oracle):
+            assert fused_key == oracle_key
+            assert _results_equal(fused_result, oracle_result)
+
+    def test_invalid_resolution_rejected(self):
+        groups = {"g": np.arange(1.0, 20.0)}
+        with pytest.raises(ValueError, match="resolution must be positive"):
+            select_steepest(groups, resolution=0.0, min_samples=1)
+
+    def test_empty_dict_and_small_groups(self):
+        assert select_steepest({}) == []
+        assert select_steepest({"tiny": np.array([1.0, 2.0])}, min_samples=8) == []

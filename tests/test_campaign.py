@@ -266,11 +266,22 @@ class TestEngine:
     def test_corrupt_checkpoint_recomputed(self, tmp_path: Path):
         out = tmp_path / "camp"
         spec = _tiny_spec()
-        CampaignEngine(spec, out_dir=out).run()
+        CampaignEngine(spec, out_dir=out, checkpoint_format="json").run()
         key = expand(spec).keys()[0]
         (out / "runs" / f"{key}.json").write_text("{not json")
-        result = CampaignEngine(spec, out_dir=out).run()
+        result = CampaignEngine(spec, out_dir=out, checkpoint_format="json").run()
         assert result.n_computed == 1
+
+    def test_torn_segment_line_recomputed(self, tmp_path: Path):
+        """A crash mid-append leaves a torn line; that point recomputes."""
+        out = tmp_path / "camp"
+        spec = _tiny_spec()
+        CampaignEngine(spec, out_dir=out).run()
+        (segment,) = (out / "runs").glob("segment-*.jsonl")
+        text = segment.read_text()
+        segment.write_text(text[: len(text) // 2])  # tear the line
+        result = CampaignEngine(spec, out_dir=out).run()
+        assert result.n_computed == 1 and result.n_resumed == 0
 
     def test_trace_store_round_trip(self, tmp_path: Path):
         """A store-backed run materialises traces and reproduces exactly."""

@@ -14,6 +14,7 @@ import pytest
 
 import repro.campaign.engine as engine_mod
 from repro.campaign import CampaignEngine, CampaignSpec, DeviceSpec, expand
+from repro.campaign.engine import _scan_checkpoints
 
 
 def _spec() -> CampaignSpec:
@@ -60,27 +61,28 @@ def counted_run_point(monkeypatch):
     return install
 
 
-def test_interrupt_then_resume_is_identical(tmp_path: Path, counted_run_point):
+@pytest.mark.parametrize("fmt", ["segments", "json"])
+def test_interrupt_then_resume_is_identical(tmp_path: Path, counted_run_point, fmt: str):
     spec = _spec()
     n_points = len(expand(spec))
     assert n_points == 6
 
     # Ground truth: one uninterrupted run.
-    clean = CampaignEngine(spec, out_dir=tmp_path / "clean").run()
+    clean = CampaignEngine(spec, out_dir=tmp_path / "clean", checkpoint_format=fmt).run()
 
     # Interrupted run: the engine dies after 2 completed points...
     out = tmp_path / "killed"
     killer = counted_run_point(kill_after=2)
     with pytest.raises(KeyboardInterrupt):
-        CampaignEngine(spec, out_dir=out).run()
+        CampaignEngine(spec, out_dir=out, checkpoint_format=fmt).run()
     assert killer.calls == 2
-    checkpoints = list((out / "runs").glob("*.json"))
-    assert len(checkpoints) == 2  # completed points persisted before the kill
+    # ...but both completed points are on disk (segment lines or files).
+    assert len(_scan_checkpoints(out, expand(spec).keys())) == 2
     assert not (out / "results.npz").exists()  # no aggregate yet
 
     # ...and the restart computes exactly the missing keys, none twice.
     counter = counted_run_point()
-    resumed = CampaignEngine(spec, out_dir=out).run()
+    resumed = CampaignEngine(spec, out_dir=out, checkpoint_format=fmt).run()
     assert counter.calls == n_points - 2
     assert resumed.n_resumed == 2 and resumed.n_computed == n_points - 2
 
@@ -89,7 +91,7 @@ def test_interrupt_then_resume_is_identical(tmp_path: Path, counted_run_point):
 
     # A third run touches nothing at all.
     counter2 = counted_run_point()
-    again = CampaignEngine(spec, out_dir=out).run()
+    again = CampaignEngine(spec, out_dir=out, checkpoint_format=fmt).run()
     assert counter2.calls == 0
     assert again.n_resumed == n_points and again.table == clean.table
 

@@ -1,0 +1,109 @@
+"""The ``repro.perf`` recorder and the trace-digest memo fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.inference.idle import _MODEL_MEMO, _trace_digest, extract_idle
+from repro.perf import PerfRecorder
+from repro.trace.io.cache import TraceStore
+from repro.trace.trace import BlockTrace
+from repro.workloads import collect_trace_cached, get_spec
+from repro.storage import SATA_600, ConstantLatencyDevice
+
+
+class TestPerfRecorder:
+    def test_stage_timing_and_counters(self):
+        perf = PerfRecorder()
+        with perf.stage("work"):
+            sum(range(1000))
+        with perf.stage("work"):
+            sum(range(1000))
+        perf.count("events")
+        perf.count("events", 2)
+        stats = perf.stages["work"]
+        assert stats.calls == 2
+        assert 0 < stats.best_s <= stats.total_s
+        assert perf.counters == {"events": 3}
+        dumped = perf.to_dict()
+        assert dumped["stages"]["work"]["calls"] == 2
+        assert dumped["counters"]["events"] == 3
+        assert any("work" in line for line in perf.summary_lines())
+        assert perf.best_s("missing") is None
+
+    def test_disabled_recorder_records_nothing(self):
+        perf = PerfRecorder(enabled=False)
+        with perf.stage("work"):
+            pass
+        perf.count("events")
+        perf.add_seconds("work", 1.0)
+        assert perf.to_dict() == {"stages": {}, "counters": {}}
+
+    def test_stage_records_on_exception(self):
+        perf = PerfRecorder()
+        try:
+            with perf.stage("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert perf.stages["boom"].calls == 1
+
+
+def _trace(n: int = 64, seed: int = 0) -> BlockTrace:
+    rng = np.random.default_rng(seed)
+    ts = np.cumsum(rng.integers(1, 500, n)).astype(np.float64)
+    return BlockTrace(
+        timestamps=ts - ts[0],
+        lbas=rng.integers(0, 1 << 20, n),
+        sizes=rng.integers(1, 64, n),
+        ops=rng.integers(0, 2, n).astype(np.int8),
+    )
+
+
+class TestTraceDigest:
+    def test_digest_separates_distinct_columns(self):
+        a, b = _trace(seed=1), _trace(seed=2)
+        assert _trace_digest(a) != _trace_digest(b)
+        assert _trace_digest(a) == _trace_digest(_trace(seed=1))
+
+    def test_digest_covers_device_stamps(self):
+        base = _trace(seed=3)
+        stamped = BlockTrace(
+            timestamps=base.timestamps,
+            lbas=base.lbas,
+            sizes=base.sizes,
+            ops=base.ops,
+            issues=base.timestamps,
+            completes=base.timestamps + 100.0,
+        )
+        assert _trace_digest(base) != _trace_digest(stamped)
+
+    def test_store_fingerprint_short_circuits_hashing(self, tmp_path):
+        store = TraceStore(root=tmp_path, enabled=True)
+        spec = get_spec("MSNFS").scaled(120)
+        trace = collect_trace_cached(spec, ConstantLatencyDevice(SATA_600), store=store)
+        assert trace.content_fingerprint is not None
+        assert _trace_digest(trace) == trace.content_fingerprint.encode("utf-8")
+        # A second materialisation (store hit, mmap) carries the same stamp.
+        again = collect_trace_cached(spec, ConstantLatencyDevice(SATA_600), store=store)
+        assert again.content_fingerprint == trace.content_fingerprint
+
+    def test_derived_traces_drop_the_stamp(self, tmp_path):
+        store = TraceStore(root=tmp_path, enabled=True)
+        spec = get_spec("MSNFS").scaled(120)
+        trace = collect_trace_cached(spec, ConstantLatencyDevice(SATA_600), store=store)
+        assert trace[: len(trace) // 2].content_fingerprint is None
+        assert trace.shifted(10.0).content_fingerprint is None
+        assert trace.with_timestamps(trace.timestamps * 2.0).content_fingerprint is None
+
+    def test_memo_hits_through_fingerprint(self, tmp_path):
+        store = TraceStore(root=tmp_path, enabled=True)
+        spec = get_spec("MSNFS").scaled(400)
+        trace = collect_trace_cached(
+            spec, ConstantLatencyDevice(SATA_600), record_device_times=False, store=store
+        )
+        _MODEL_MEMO.clear()
+        first = extract_idle(trace)
+        second = extract_idle(trace)
+        assert first.report is second.report  # memo hit, keyed by the stamp
+        assert len(_MODEL_MEMO) == 1

@@ -1,0 +1,88 @@
+"""Bit-identity suite for the queue-depth replay engines.
+
+:func:`repro.replay.replay_queue_depth` (precomputed-service FIFO
+window / heap-based event fallback) must reproduce the retained scalar
+oracle :func:`repro.replay.replay_queue_depth_scalar` stamp for stamp,
+for every device type, queue depth, idle pattern, and degenerate input.
+Same contract (and same device zoo) as the batch-replay equivalence
+suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replay import replay_queue_depth, replay_queue_depth_scalar
+from repro.trace.trace import BlockTrace
+from test_properties import block_traces
+from test_replay_batch import DEVICE_FACTORIES, assert_replays_identical
+
+#: Window depths covering the degenerate synchronous mode, shallow and
+#: deep windows, and a depth larger than most test traces.
+QUEUE_DEPTHS = (1, 2, 4, 9)
+
+
+class TestQdepthScalarEquivalence:
+    @pytest.mark.parametrize("device_key", sorted(DEVICE_FACTORIES))
+    @given(trace=block_traces(min_n=2, max_n=50), data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_stamps_bit_identical(self, device_key, trace, data):
+        make = DEVICE_FACTORIES[device_key]
+        queue_depth = data.draw(st.sampled_from(QUEUE_DEPTHS))
+        idle = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=1e5),
+                    min_size=len(trace) - 1,
+                    max_size=len(trace) - 1,
+                )
+            )
+        )
+        fast = replay_queue_depth(trace, make(), idle_us=idle, queue_depth=queue_depth)
+        oracle = replay_queue_depth_scalar(trace, make(), idle_us=idle, queue_depth=queue_depth)
+        assert_replays_identical(fast, oracle)
+
+    @pytest.mark.parametrize("device_key", sorted(DEVICE_FACTORIES))
+    @pytest.mark.parametrize("queue_depth", QUEUE_DEPTHS)
+    def test_no_idle_windows(self, device_key, queue_depth):
+        """Back-to-back replay keeps the window saturated — the regime
+        where the in-flight bookkeeping actually matters."""
+        rng = np.random.default_rng(17)
+        n = 64
+        ts = np.cumsum(rng.integers(1, 300, n)).astype(np.float64)
+        trace = BlockTrace(
+            timestamps=ts - ts[0],
+            lbas=rng.integers(0, 1 << 22, n),
+            sizes=rng.integers(1, 96, n),
+            ops=rng.integers(0, 2, n).astype(np.int8),
+        )
+        make = DEVICE_FACTORIES[device_key]
+        fast = replay_queue_depth(trace, make(), queue_depth=queue_depth)
+        oracle = replay_queue_depth_scalar(trace, make(), queue_depth=queue_depth)
+        assert_replays_identical(fast, oracle)
+
+    @pytest.mark.parametrize("device_key", sorted(DEVICE_FACTORIES))
+    def test_single_request_trace(self, device_key):
+        trace = BlockTrace([0.0], [128], [8], [0])
+        make = DEVICE_FACTORIES[device_key]
+        for queue_depth in (1, 4):
+            fast = replay_queue_depth(trace, make(), queue_depth=queue_depth)
+            oracle = replay_queue_depth_scalar(trace, make(), queue_depth=queue_depth)
+            assert_replays_identical(fast, oracle)
+
+    def test_validation_matches_oracle(self):
+        device = DEVICE_FACTORIES["const"]()
+        trace = BlockTrace([0.0, 10.0, 20.0], [0, 8, 16], [8, 8, 8], [0, 1, 0])
+        empty = BlockTrace([], [], [], [])
+        for engine in (replay_queue_depth, replay_queue_depth_scalar):
+            with pytest.raises(ValueError):
+                engine(empty, device)
+            with pytest.raises(ValueError):
+                engine(trace, device, queue_depth=0)
+            with pytest.raises(ValueError):
+                engine(trace, device, idle_us=np.zeros(1))
+            with pytest.raises(ValueError):
+                engine(trace, device, idle_us=np.full(2, -1.0))
