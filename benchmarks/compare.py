@@ -1,0 +1,144 @@
+"""Diff a fresh benchmark run against a committed ``BENCH_*.json``.
+
+The committed benchmark files record one point in time; this tool turns
+a fresh run plus the committed baseline into a readable per-stage trend
+table and a CI verdict:
+
+- **speedup stages** (``stages``: before/after engine pairs) compare
+  machine-independent speedup ratios;
+- **absolute pipeline stages** (``pipeline``) are normalised by the
+  calibration workload's ratio between the two runs, so the comparison
+  survives machine changes;
+- **parse benchmarks** (``BENCH_parse.json`` schema: ``dialects`` /
+  ``store``) compare dialect speedups, which are machine-independent.
+
+Exit status is non-zero when any stage regresses by more than
+``--tolerance`` (default 1.5x) — the CI ``perf`` job gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick --out fresh.json
+    python benchmarks/compare.py fresh.json BENCH_pipeline.json
+    python benchmarks/compare.py fresh_parse.json BENCH_parse.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+try:  # editable install or PYTHONPATH=src both work; fall back to the tree
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(_HERE.parent / "src"))
+
+from bench_pipeline import check_regressions  # noqa: E402
+
+
+def _fmt_ratio(ratio: float) -> str:
+    """Human trend marker: >1 improved, <1 regressed."""
+    if ratio >= 1.05:
+        return f"{ratio:5.2f}x better"
+    if ratio <= 0.95:
+        return f"{ratio:5.2f}x worse"
+    return f"{ratio:5.2f}x ~flat"
+
+
+def trend_table_pipeline(fresh: dict, baseline: dict) -> list[str]:
+    """Per-stage trend lines for the ``bench_pipeline`` schema."""
+    lines = ["stage trends (baseline -> fresh):"]
+    for name, base in baseline.get("stages", {}).items():
+        now = fresh.get("stages", {}).get(name)
+        if now is None:
+            lines.append(f"  {name:>28}: MISSING from fresh run")
+            continue
+        ratio = now["speedup"] / base["speedup"] if base["speedup"] else float("inf")
+        lines.append(
+            f"  {name:>28}: speedup {base['speedup']:6.2f}x -> {now['speedup']:6.2f}x  "
+            f"({_fmt_ratio(ratio)})"
+        )
+    for name in fresh.get("stages", {}):
+        if name not in baseline.get("stages", {}):
+            lines.append(f"  {name:>28}: NEW stage (fresh speedup "
+                         f"{fresh['stages'][name]['speedup']}x)")
+    scale = fresh["calibration_s"] / baseline["calibration_s"]
+    lines.append(f"  machine scale (fresh/baseline calibration): {scale:.2f}")
+    for name, base_s in baseline.get("pipeline", {}).items():
+        now_s = fresh.get("pipeline", {}).get(name)
+        if now_s is None:
+            lines.append(f"  {name:>28}: MISSING from fresh run")
+            continue
+        ratio = (base_s * scale) / now_s if now_s else float("inf")
+        lines.append(
+            f"  {name:>28}: {base_s * 1e3:8.1f} ms -> {now_s * 1e3:8.1f} ms  "
+            f"({_fmt_ratio(ratio)}, machine-normalised)"
+        )
+    return lines
+
+
+def trend_table_parse(
+    fresh: dict, baseline: dict, tolerance: float = 1.5
+) -> tuple[list[str], list[str]]:
+    """Trend lines + regression problems for the ``bench_parse`` schema."""
+    lines = ["dialect trends (baseline -> fresh):"]
+    problems: list[str] = []
+    return _parse_trends(fresh, baseline, lines, problems, tolerance)
+
+
+def _parse_trends(
+    fresh: dict, baseline: dict, lines: list[str], problems: list[str],
+    tolerance: float = 1.5,
+) -> tuple[list[str], list[str]]:
+    for dialect, base in baseline.get("dialects", {}).items():
+        now = fresh.get("dialects", {}).get(dialect)
+        if now is None:
+            problems.append(f"dialect {dialect!r} missing from fresh run")
+            lines.append(f"  {dialect:>10}: MISSING from fresh run")
+            continue
+        ratio = now["speedup"] / base["speedup"] if base["speedup"] else float("inf")
+        lines.append(
+            f"  {dialect:>10}: speedup {base['speedup']:6.2f}x -> {now['speedup']:6.2f}x  "
+            f"({_fmt_ratio(ratio)})"
+        )
+        if now["speedup"] * tolerance < base["speedup"]:
+            problems.append(
+                f"{dialect}: speedup {now['speedup']}x is >{tolerance}x below "
+                f"baseline {base['speedup']}x"
+            )
+    return lines, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: trend table to stdout, non-zero exit on regression."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly measured benchmark JSON")
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument(
+        "--tolerance", type=float, default=1.5,
+        help="allowed regression factor (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+    fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+
+    if "dialects" in baseline:
+        lines, problems = trend_table_parse(fresh, baseline, args.tolerance)
+    else:
+        lines = trend_table_pipeline(fresh, baseline)
+        problems = check_regressions(fresh, baseline, args.tolerance)
+    for line in lines:
+        print(line)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(f"no regressions vs {args.baseline} (tolerance {args.tolerance}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

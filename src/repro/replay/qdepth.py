@@ -24,10 +24,20 @@ Two engines produce identical results:
   in-flight set of a FIFO device is always the trailing ``qd``
   requests, so "wait for the oldest outstanding completion" is one
   comparison against ``finishes[i - qd]``.  Devices with internal
-  parallelism (flash arrays, RAID) fall back to a heap-based
-  discrete-event loop that drives ``device._service`` directly with the
-  per-request conversions hoisted out and the in-flight window kept in
-  a binary heap.
+  parallelism take the *plan* engine when they provide one
+  (``device.replay_plan``, flash and flash arrays): fragment fan-out
+  and memoised relative-service entries are resolved for the whole
+  stream up front by the columnar device kernels, and the event loop
+  runs each member's fast paths inline — no per-request key
+  construction, memo lookups, or method dispatch, and busy-state page
+  walks run from the shape's prefetched occupancy walk.  Everything
+  else falls back to a heap-based discrete-event loop that drives
+  ``device._service`` directly with the per-request conversions
+  hoisted out.  Both event engines keep the in-flight window in a
+  binary heap with expiry batched per completion wave: expired
+  completions are only swept when the window *looks* full, so a
+  replay that never saturates the window pays one length check per
+  request instead of a pop scan.
 
 Used by tests and available to studies that want target-load
 sensitivity (e.g. how reconstruction fidelity changes when the replayer
@@ -41,6 +51,7 @@ import heapq
 import numpy as np
 
 from ..storage.device import StorageDevice
+from ..storage.flash import _entry_commit, _entry_idle_sparse
 from ..trace.record import OpType
 from ..trace.trace import BlockTrace
 from .collector import TraceCollector
@@ -121,9 +132,15 @@ def replay_queue_depth(
             t_cdel, svc, idle_arr, queue_depth
         )
     else:
-        submits, acks, starts, finishes = _qdepth_events(
-            old_trace, device, t_cdel, idle_arr, queue_depth
-        )
+        plan = device.replay_plan(old_trace.ops, old_trace.lbas, old_trace.sizes)
+        if plan is not None:
+            submits, acks, starts, finishes = _qdepth_plan_events(
+                device, plan, t_cdel, idle_arr, queue_depth
+            )
+        else:
+            submits, acks, starts, finishes = _qdepth_events(
+                old_trace, device, t_cdel, idle_arr, queue_depth
+            )
     trace = BlockTrace(
         timestamps=submits,
         lbas=old_trace.lbas,
@@ -218,10 +235,15 @@ def _qdepth_events(
     finishes = np.empty(n, dtype=np.float64)
     clock = 0.0
     for i in range(n):
-        while in_flight and in_flight[0] <= clock:
-            heappop(in_flight)
+        # Expired completions are swept only when the window looks
+        # full — the heap may carry stale entries, but the blocking
+        # decision (and hence every stamp) is unchanged: after the
+        # sweep the live count is exactly what eager expiry would see.
         if len(in_flight) >= queue_depth:
-            clock = heappop(in_flight)
+            while in_flight and in_flight[0] <= clock:
+                heappop(in_flight)
+            if len(in_flight) >= queue_depth:
+                clock = heappop(in_flight)
         ack = clock + t_cdel_l[i]
         start, finish = service(ops[i], lbas[i], sizes[i], ack)
         heappush(in_flight, finish)
@@ -232,6 +254,151 @@ def _qdepth_events(
         if i < n - 1:
             clock = ack + idle_l[i]
     return submits, acks, starts, finishes
+
+
+def _qdepth_plan_events(
+    device: StorageDevice,
+    plan,
+    t_cdel: np.ndarray,
+    idle_arr: np.ndarray,
+    queue_depth: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Event loop over a precomputed device plan (flash / flash array).
+
+    Request ``i`` owns fragments ``plan.frags[offsets[i]:offsets[i+1]]``
+    in the exact order the scalar fragment walk visits them; each
+    fragment carries its member index and memoised relative-service
+    entry.  The loop body inlines ``FlashSSD._service`` branch for
+    branch — horizon check, slot-range idle probe, slot-range commit,
+    write-buffer admission — so every stamp and every piece of member
+    state (busy stamps, buffer occupancy, horizon) is bit-identical to
+    driving ``_service`` per request, with the per-request key
+    construction, memo lookups, and method dispatch all hoisted into
+    plan construction and the per-die loops collapsed into list-slice
+    operations (see ``repro.storage.flash._entry_commit``).
+    """
+    offsets = plan.offsets
+    frags = plan.frags
+    array_level = plan.array_level
+    members = plan.members_of(device)
+    n = len(offsets) - 1
+    t_cdel_l = t_cdel.tolist()
+    idle_l = idle_arr.tolist()
+    heappush, heappop = heapq.heappush, heapq.heappop
+    in_flight: list[float] = []
+    acks: list[float] = []
+    finishes: list[float] = []
+    #: Rare per-request deviations recorded as (index, value) pairs;
+    #: the dense submit/start columns are derived vectorised afterwards.
+    clock_bumps: list[tuple[int, float]] = []
+    start_overrides: list[tuple[int, float]] = []
+    # Per-member state mirrored into locals: busy lists are shared
+    # objects (mutated in place, so the member's own slow paths stay
+    # coherent), horizons and buffer byte counts are plain floats/ints
+    # written back once at the end — and synced whenever a slow path
+    # re-enters member methods that read them.
+    dbs = [m._die_busy for m in members]
+    cbs = [m._chan_busy for m in members]
+    hors = [m._state_horizon for m in members]
+    bufs = [m._buffered for m in members]
+    bbs = [m._buffered_bytes for m in members]
+    caps = [m._buffer_capacity for m in members]
+    bw_us = [m.geometry.buffer_write_us for m in members]
+    bw4 = [m.channel.bandwidth_mb_s * 4 for m in members]
+    clock = 0.0
+    qd = queue_depth
+    for i in range(n):
+        if len(in_flight) >= qd:
+            while in_flight and in_flight[0] <= clock:
+                heappop(in_flight)
+            if len(in_flight) >= qd:
+                clock = heappop(in_flight)
+                clock_bumps.append((i, clock))
+        ack = clock + t_cdel_l[i]
+        finish = ack
+        for k in range(offsets[i], offsets[i + 1]):
+            mi, e = frags[k]
+            db = dbs[mi]
+            cb = cbs[mi]
+            if e.is_read:
+                if ack >= hors[mi] or _entry_idle_sparse(db, cb, e, ack):
+                    _entry_commit(db, cb, e, ack)
+                    h = ack + e.horizon
+                    if h > hors[mi]:
+                        hors[mi] = h
+                    f = ack + e.svc
+                else:
+                    f = members[mi]._busy_read(e, ack)
+                    if f > hors[mi]:
+                        hors[mi] = f
+            elif e.buffered:
+                nbytes = e.nbytes
+                buf = bufs[mi]
+                bb = bbs[mi]
+                while buf and buf[0][0] <= ack:
+                    __, freed = buf.popleft()
+                    bb -= freed
+                if bb + nbytes <= caps[mi] and (
+                    ack >= hors[mi] or _entry_idle_sparse(db, cb, e, ack)
+                ):
+                    buf.append((ack + e.drain_rel, nbytes))
+                    bbs[mi] = bb + nbytes
+                    _entry_commit(db, cb, e, ack)
+                    h = ack + e.horizon
+                    if h > hors[mi]:
+                        hors[mi] = h
+                    f = ack + e.svc
+                else:
+                    ssd = members[mi]
+                    ssd._buffered_bytes = bb
+                    start = ssd._buffer_admit(nbytes, ack)
+                    ack_done = start + bw_us[mi] + nbytes / bw4[mi]
+                    drain = ssd._busy_program(e, ack_done)
+                    buf.append((drain, nbytes))
+                    bbs[mi] = ssd._buffered_bytes + nbytes
+                    if drain > hors[mi]:
+                        hors[mi] = drain
+                    f = ack_done
+                    if not array_level:
+                        start_overrides.append((i, start))
+            else:
+                if ack >= hors[mi] or _entry_idle_sparse(db, cb, e, ack):
+                    _entry_commit(db, cb, e, ack)
+                    h = ack + e.horizon
+                    if h > hors[mi]:
+                        hors[mi] = h
+                    f = ack + e.svc
+                else:
+                    f = members[mi]._busy_program(e, ack)
+                    if f > hors[mi]:
+                        hors[mi] = f
+            if f > finish:
+                finish = f
+        heappush(in_flight, finish)
+        acks.append(ack)
+        finishes.append(finish)
+        if i < n - 1:
+            clock = ack + idle_l[i]
+    for m, h, bb in zip(members, hors, bbs):
+        m._state_horizon = h
+        m._buffered_bytes = bb
+    acks_arr = np.array(acks, dtype=np.float64)
+    finishes_arr = np.array(finishes, dtype=np.float64)
+    # Submit column: the clock chain is ack + idle elementwise (same
+    # operands the loop added), overridden where the window-full pops
+    # bumped the clock.
+    submits_arr = np.empty(n, dtype=np.float64)
+    submits_arr[0] = 0.0
+    if n > 1:
+        submits_arr[1:] = acks_arr[:-1] + idle_arr[: n - 1]
+    for i, bumped in clock_bumps:
+        submits_arr[i] = bumped
+    # Start column: the device admits at the ready time everywhere
+    # except a standalone SSD's buffered-write slow path.
+    starts_arr = acks_arr.copy()
+    for i, start in start_overrides:
+        starts_arr[i] = start
+    return submits_arr, acks_arr, starts_arr, finishes_arr
 
 
 def replay_queue_depth_scalar(

@@ -9,12 +9,17 @@ from .array import FlashArray
 from .channel import PCIE3_X4, SATA_300, SATA_600, InterfaceChannel
 from .device import Completion, ConstantLatencyDevice, StorageDevice
 from .events import Event, EventQueue, Simulation
-from .flash import FlashGeometry, FlashSSD
+from .flash import FlashGeometry, FlashReplayPlan, FlashSSD
 from .hdd import HDDGeometry, HDDModel
+from .kernels import COLUMNAR_MIN_PAGES, columnar_enabled, set_force_scalar
 from .raid import Raid0, Raid1
 
 __all__ = [
     "FlashArray",
+    "FlashReplayPlan",
+    "COLUMNAR_MIN_PAGES",
+    "columnar_enabled",
+    "set_force_scalar",
     "PCIE3_X4",
     "SATA_300",
     "SATA_600",

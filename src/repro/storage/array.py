@@ -19,7 +19,15 @@ import numpy as np
 from ..trace.record import OpType
 from .channel import PCIE3_X4, InterfaceChannel
 from .device import StorageDevice
-from .flash import FlashGeometry, FlashSSD
+from .flash import (
+    _PLAN_CACHE,
+    FlashGeometry,
+    FlashReplayPlan,
+    FlashSSD,
+    _plan_cache_put,
+    _stream_digest,
+)
+from .kernels import columnar_enabled, group_shapes, page_span
 
 __all__ = ["FlashArray"]
 
@@ -141,6 +149,14 @@ class FlashArray(StorageDevice):
     def _service_batch(
         self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
     ) -> np.ndarray:
+        if columnar_enabled():
+            return self._service_batch_columnar(ops, lbas, sizes)
+        return self._service_batch_scalar(ops, lbas, sizes)
+
+    def _service_batch_scalar(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Retained per-request fragment walk — the columnar oracle."""
         # Fragments keep the global LBA (see _fragments) and every
         # member shares one geometry, so one member's relative-service
         # memo prices every fragment; the array latency is the slowest
@@ -170,3 +186,82 @@ class FlashArray(StorageDevice):
                 remaining -= chunk
             out[i] = svc
         return out
+
+    def _fragment_columns(
+        self, lbas: np.ndarray, sizes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stripe fan-out as index arithmetic, no per-request Python.
+
+        Returns ``(offsets, request_index, frag_start, frag_size,
+        member)`` flat fragment columns in exactly the order the scalar
+        cursor walk emits them: request-major, stripe-minor.  Fragment
+        ``j`` of request ``i`` lives at ``offsets[i] + j``.
+        """
+        ss = self.stripe_sectors
+        n = len(lbas)
+        stripe0 = lbas // ss
+        spans = (lbas + sizes - 1) // ss - stripe0 + 1
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(spans, out=offsets[1:])
+        total = int(offsets[-1])
+        req = np.repeat(np.arange(n, dtype=np.int64), spans)
+        k = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], spans)
+        frag_stripe = stripe0[req] + k
+        frag_start = np.maximum(lbas[req], frag_stripe * ss)
+        frag_end = np.minimum((lbas + sizes)[req], (frag_stripe + 1) * ss)
+        member = frag_stripe % self.n_ssds
+        return offsets, req, frag_start, frag_end - frag_start, member
+
+    def _service_batch_columnar(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Grouped fan-out kernel: whole stream priced in one pass.
+
+        Decomposes every request into stripe fragments with index
+        arithmetic, evaluates each *unique* fragment shape once through
+        the member memo, and folds fragments back to per-request maxima
+        with one ``np.maximum.reduceat``.  Bit-identical to
+        :meth:`_service_batch_scalar` (same memo entries, and the
+        max-fold is order-insensitive).
+        """
+        member0 = self.ssds[0]
+        lbas = np.asarray(lbas, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        offsets, req, frag_start, frag_size, __ = self._fragment_columns(lbas, sizes)
+        first, n_pages = page_span(frag_start, frag_size, member0._page_sectors)
+        uniq, inverse = group_shapes(
+            np.asarray(ops)[req], first % member0._total_dies, n_pages, frag_size
+        )
+        rel_entry = member0._rel_entry
+        read, write = OpType.READ, OpType.WRITE
+        svc_u = np.empty(len(uniq), dtype=np.float64)
+        for j, (op, slot, npg, size) in enumerate(uniq.tolist()):
+            svc_u[j] = rel_entry(read if op == 0 else write, slot, npg, size).svc
+        return np.maximum.reduceat(svc_u[inverse], offsets[:-1])
+
+    def replay_plan(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray):
+        """Fragment plan for the queue-depth event loop.
+
+        Same fragment order as the scalar :meth:`_service` walk; every
+        fragment carries its owning member SSD and memo entry so the
+        event loop can run each member's fast paths inline.  Pure — no
+        simulator state is consumed.  ``None`` when the columnar
+        engines are disabled.
+        """
+        if not columnar_enabled():
+            return None
+        key = (self.fingerprint(), _stream_digest(ops, lbas, sizes))
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            return plan
+        member0 = self.ssds[0]
+        ops = np.asarray(ops)
+        lbas = np.asarray(lbas, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        offsets, req, frag_start, frag_size, member = self._fragment_columns(lbas, sizes)
+        first, n_pages = page_span(frag_start, frag_size, member0._page_sectors)
+        entries = member0._entries_for(ops[req], first, n_pages, frag_size)
+        frags = list(zip(member.tolist(), entries))
+        plan = FlashReplayPlan(offsets.tolist(), frags, array_level=True)
+        _plan_cache_put(key, plan)
+        return plan

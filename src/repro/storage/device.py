@@ -159,6 +159,19 @@ class StorageDevice(abc.ABC):
         """
         return False
 
+    def replay_plan(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray):
+        """Precomputed per-request service columns for event-loop replay.
+
+        Devices with internal parallelism (flash, flash arrays) return
+        a plan object that resolves every request's fragment fan-out
+        and memoised relative-service entries up front, letting the
+        queue-depth event loop run the device fast paths inline without
+        per-request dispatch.  Must be *pure* (no simulator state
+        consumed).  The default is ``None``: the event loop falls back
+        to driving :meth:`_service` request by request.
+        """
+        return None
+
     def service_batch(
         self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
     ) -> np.ndarray | None:

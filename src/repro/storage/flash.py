@@ -22,6 +22,7 @@ channel-first interleaving.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
 
@@ -30,8 +31,16 @@ import numpy as np
 from ..trace.record import SECTOR_BYTES, OpType
 from .channel import PCIE3_X4, InterfaceChannel
 from .device import StorageDevice
+from .kernels import (
+    COLUMNAR_MIN_PAGES,
+    columnar_enabled,
+    group_shapes,
+    page_span,
+    program_wave_kernel,
+    read_wave_kernel,
+)
 
-__all__ = ["FlashGeometry", "FlashSSD"]
+__all__ = ["FlashGeometry", "FlashSSD", "FlashReplayPlan"]
 
 
 class _RelService:
@@ -42,30 +51,194 @@ class _RelService:
     ``first_page % total_dies`` and the page count, one relative
     computation serves every request with the same shape — the replay
     hot path becomes a dict lookup plus a sparse state update.
+
+    Die and channel state is *slot-indexed* (die ``page % total_dies``,
+    channel ``page % channels``), so the slots a shape touches form a
+    contiguous circular range.  The entry precomputes that range as at
+    most two ``[a, b)`` segments plus, when every touched die (channel)
+    lands on the same relative stamp — true for any extent of at most
+    ``channels`` pages, i.e. every single-wave shape — the shared
+    *uniform* value.  The replay engine's idle probe then collapses to
+    ``max()`` over a list slice and its commit to a slice assignment,
+    replacing the per-die Python loops that dominated flash replay.
     """
 
-    __slots__ = ("svc", "drain_rel", "die_items", "chan_items", "horizon")
+    __slots__ = (
+        "svc", "drain_rel", "die_items", "chan_items", "horizon", "walk",
+        "slot", "n_pages", "die_segs", "die_uval", "chan_segs", "chan_uval",
+        "is_read", "nbytes", "buffered", "walk_pairs", "walk_op_us",
+    )
 
     def __init__(
         self,
         svc: float,
         drain_rel: float,
-        die_rel: dict[tuple[int, int], float],
+        die_rel: dict[int, float],
         chan_rel: dict[int, float],
-        dies_per_channel: int,
+        slot: int,
+        n_pages: int,
+        total_dies: int,
+        channels: int,
+        walk: list[tuple[int, int, float]] | None = None,
     ) -> None:
         self.svc = svc
         self.drain_rel = drain_rel
-        #: (flat die index, relative busy-until) pairs, page order.
-        self.die_items = [
-            (ch * dies_per_channel + die, value) for (ch, die), value in die_rel.items()
-        ]
+        #: (die slot, relative busy-until) pairs, first-visit page order.
+        self.die_items = list(die_rel.items())
         self.chan_items = list(chan_rel.items())
         peak = max(
             max((v for _, v in self.die_items), default=0.0),
             max((v for _, v in self.chan_items), default=0.0),
         )
         self.horizon = max(svc, drain_rel, peak)
+        #: Per-page ``(channel, die slot, op_us)`` tuples in page order —
+        #: the shape's occupancy walk with the striping modulos and the
+        #: multi-plane speedups resolved once, so the replay engine's
+        #: busy path can re-run the scalar recurrence without dict or
+        #: geometry lookups.
+        self.walk = walk
+        self.slot = slot
+        self.n_pages = n_pages
+        # Touched-slot ranges: [a1, b1) and the wrapped [0, b2).
+        k = n_pages if n_pages < total_dies else total_dies
+        if slot + k <= total_dies:
+            self.die_segs = (slot, slot + k, 0)
+        else:
+            self.die_segs = (slot, total_dies, slot + k - total_dies)
+        base_c = slot % channels
+        kc = n_pages if n_pages < channels else channels
+        if base_c + kc <= channels:
+            self.chan_segs = (base_c, base_c + kc, 0)
+        else:
+            self.chan_segs = (base_c, channels, base_c + kc - channels)
+        die_vals = list(die_rel.values())
+        self.die_uval = die_vals[0] if die_vals.count(die_vals[0]) == len(die_vals) else None
+        chan_vals = list(chan_rel.values())
+        self.chan_uval = (
+            chan_vals[0] if chan_vals.count(chan_vals[0]) == len(chan_vals) else None
+        )
+        # Request-shape flags the replay engine needs per fragment;
+        # the shape key includes op and size, so they are entry facts.
+        # Filled by ``FlashSSD._rel_entry``.
+        self.is_read = True
+        self.nbytes = 0
+        self.buffered = False
+        # Uniform-op walk split: ``walk_pairs`` is the (channel, slot)
+        # page sequence and ``walk_op_us`` the shared per-page array
+        # time, set when every page has the same op time and no die or
+        # channel is visited twice (``n_pages <= channels``) so page
+        # outcomes are mutually independent.  The busy walks then
+        # compute only the exceptional busy slots page by page and
+        # bulk-write the uniform remainder with slice assignments.
+        if walk and n_pages <= channels and all(w[2] == walk[0][2] for w in walk):
+            self.walk_pairs = [(ch, s) for ch, s, __ in walk]
+            self.walk_op_us = walk[0][2]
+        else:
+            self.walk_pairs = None
+            self.walk_op_us = None
+
+
+def _entry_idle_sparse(db: list, cb: list, e: _RelService, t_ready: float) -> bool:
+    """Exact sparse idle probe over the entry's contiguous slot ranges.
+
+    Equivalent to ``FlashSSD._state_idle_for`` with the horizon tier
+    already checked by the caller: ``True`` iff no touched die or
+    channel is busy past ``t_ready``.  ``max()`` over a list slice is
+    the same comparison set as the scalar per-item loop.
+    """
+    a, b, b2 = e.die_segs
+    if max(db[a:b]) > t_ready:
+        return False
+    if b2 and max(db[:b2]) > t_ready:
+        return False
+    a, b, b2 = e.chan_segs
+    if max(cb[a:b]) > t_ready:
+        return False
+    if b2 and max(cb[:b2]) > t_ready:
+        return False
+    return True
+
+
+def _entry_commit(db: list, cb: list, e: _RelService, t_ready: float) -> None:
+    """Apply the entry's busy-stamp update; bitwise ``_commit_fast`` twin.
+
+    Uniform single-wave shapes commit with slice assignments (the
+    shared stamp ``t_ready + v`` equals what the per-item loop writes,
+    same operands); non-uniform shapes fall back to the item loop.
+    The caller owns the horizon update (the replay engine mirrors
+    member horizons into locals).
+    """
+    u = e.die_uval
+    if u is not None:
+        a, b, b2 = e.die_segs
+        v = t_ready + u
+        db[a:b] = [v] * (b - a)
+        if b2:
+            db[:b2] = [v] * b2
+    else:
+        for s, rel in e.die_items:
+            db[s] = t_ready + rel
+    u = e.chan_uval
+    if u is not None:
+        a, b, b2 = e.chan_segs
+        v = t_ready + u
+        cb[a:b] = [v] * (b - a)
+        if b2:
+            cb[:b2] = [v] * b2
+    else:
+        for c, rel in e.chan_items:
+            cb[c] = t_ready + rel
+
+
+@dataclass(frozen=True, slots=True)
+class FlashReplayPlan:
+    """Precomputed per-request fragment columns for queue-depth replay.
+
+    Built by :meth:`FlashSSD.replay_plan` / ``FlashArray.replay_plan``
+    from the grouped shape kernels: request ``i`` owns fragments
+    ``frags[offsets[i]:offsets[i + 1]]``, each a
+    ``(member_index, entry)`` pair ready for the event loop's inlined
+    fast paths (the per-fragment op/size facts — ``is_read``,
+    ``nbytes``, ``buffered`` — live on the shape-keyed entry).  Member
+    indices (not object references) keep the plan valid for *any*
+    device with the same fingerprint, so plans are shareable through
+    the content cache.  Construction is pure — no simulator state is
+    read or consumed.
+    """
+
+    offsets: list[int]
+    frags: list[tuple]
+    #: ``True`` when fragments belong to an array (request start stamp
+    #: is the array-level ready time, not a member's admission time).
+    array_level: bool
+
+    def members_of(self, device) -> list:
+        """Member SSD list the fragment indices refer to, for ``device``."""
+        return device.ssds if self.array_level else [device]
+
+
+#: Content-keyed plan cache: (device fingerprint, stream digest) ->
+#: plan.  Entries are geometry-relative (member indices + shared memo
+#: entries), so every fingerprint-equal device can consume them.
+_PLAN_CACHE: dict[tuple, FlashReplayPlan] = {}
+_PLAN_CACHE_MAX = 16
+
+
+def _plan_cache_put(key: tuple, plan: FlashReplayPlan) -> None:
+    """Insert with crude FIFO eviction (plans are cheap to rebuild)."""
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+        _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+    _PLAN_CACHE[key] = plan
+
+
+def _stream_digest(ops, lbas, sizes) -> bytes:
+    """Content hash of a request stream (the plan-cache key half)."""
+    h = hashlib.blake2b(digest_size=16)
+    for col in (ops, lbas, sizes):
+        arr = np.ascontiguousarray(np.asarray(col))
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    return h.digest()
 
 
 #: Relative services depend only on (geometry, plane interleave,
@@ -173,12 +346,15 @@ class FlashSSD(StorageDevice):
         self._page_sectors = g.page_sectors
         self._total_dies = g.total_dies
         self._buffer_capacity = g.write_buffer_kb * 1024
-        # page % total_dies -> (channel, flat die index) lookup tables.
-        self._map_ch = [g.die_of_page(i)[0] for i in range(self._total_dies)]
-        self._map_flat = [
-            ch * g.dies_per_channel + die
-            for ch, die in (g.die_of_page(i) for i in range(self._total_dies))
-        ]
+        # Die/channel state is *slot-indexed*: die slot = page %
+        # total_dies, channel = page % channels (total_dies is a
+        # multiple of channels, so the two stripings agree).  A page
+        # extent therefore touches a contiguous circular slot range —
+        # what lets the memoised entries describe their footprint as
+        # slices.  ``_map_ch`` caches slot -> channel for the scalar
+        # walks (list indexing beats a per-page modulo); the columnar
+        # kernels derive the mapping from ``channels`` themselves.
+        self._map_ch = (np.arange(self._total_dies, dtype=np.int64) % g.channels).tolist()
 
     @property
     def name(self) -> str:
@@ -207,10 +383,8 @@ class FlashSSD(StorageDevice):
 
     def _pages_of(self, lba: int, size: int) -> range:
         """Flash pages touched by a sector extent."""
-        ps = self._page_sectors
-        first = lba // ps
-        last = (lba + size - 1) // ps
-        return range(first, last + 1)
+        first, n_pages = page_span(lba, size, self._page_sectors)
+        return range(first, first + n_pages)
 
     def _page_op_us(self, base_us: float, n_pages_on_die: int) -> float:
         """Effective per-page array time with multi-plane interleaving."""
@@ -220,51 +394,59 @@ class FlashSSD(StorageDevice):
         return base_us / speedup
 
     def _read_pages(self, pages: range, t_ready: float) -> float:
-        """Service a read: die array read, then channel transfer out."""
+        """Service a read: die array read, then channel transfer out.
+
+        Retained scalar walk — the oracle for the columnar read paths
+        (:func:`~repro.storage.kernels.read_wave_kernel` and the
+        memoised per-shape walks).
+        """
         g = self.geometry
         td = self._total_dies
-        map_ch, map_flat = self._map_ch, self._map_flat
+        map_ch = self._map_ch
         xfer_us = g.page_transfer_us
         per_die_count: dict[int, int] = {}
         for page in pages:
-            flat = map_flat[page % td]
-            per_die_count[flat] = per_die_count.get(flat, 0) + 1
+            slot = page % td
+            per_die_count[slot] = per_die_count.get(slot, 0) + 1
         finish = t_ready
         die_busy, chan_busy = self._die_busy, self._chan_busy
         for page in pages:
-            idx = page % td
-            ch = map_ch[idx]
-            flat = map_flat[idx]
-            read_us = self._page_op_us(g.read_us, per_die_count[flat])
-            read_done = max(t_ready, die_busy[flat]) + read_us
+            slot = page % td
+            ch = map_ch[slot]
+            read_us = self._page_op_us(g.read_us, per_die_count[slot])
+            read_done = max(t_ready, die_busy[slot]) + read_us
             xfer_done = max(read_done, chan_busy[ch]) + xfer_us
-            die_busy[flat] = read_done
+            die_busy[slot] = read_done
             chan_busy[ch] = xfer_done
             if xfer_done > finish:
                 finish = xfer_done
         return finish
 
     def _program_pages(self, pages: range, t_ready: float) -> float:
-        """Drain writes to NAND: channel transfer in, then program."""
+        """Drain writes to NAND: channel transfer in, then program.
+
+        Retained scalar walk — the oracle for the columnar program
+        paths (:func:`~repro.storage.kernels.program_wave_kernel` and
+        the memoised per-shape walks).
+        """
         g = self.geometry
         td = self._total_dies
-        map_ch, map_flat = self._map_ch, self._map_flat
+        map_ch = self._map_ch
         xfer_us = g.page_transfer_us
         per_die_count: dict[int, int] = {}
         for page in pages:
-            flat = map_flat[page % td]
-            per_die_count[flat] = per_die_count.get(flat, 0) + 1
+            slot = page % td
+            per_die_count[slot] = per_die_count.get(slot, 0) + 1
         finish = t_ready
         die_busy, chan_busy = self._die_busy, self._chan_busy
         for page in pages:
-            idx = page % td
-            ch = map_ch[idx]
-            flat = map_flat[idx]
+            slot = page % td
+            ch = map_ch[slot]
             xfer_done = max(t_ready, chan_busy[ch]) + xfer_us
-            prog_us = self._page_op_us(g.program_us, per_die_count[flat])
-            prog_done = max(xfer_done, die_busy[flat]) + prog_us
+            prog_us = self._page_op_us(g.program_us, per_die_count[slot])
+            prog_done = max(xfer_done, die_busy[slot]) + prog_us
             chan_busy[ch] = xfer_done
-            die_busy[flat] = prog_done
+            die_busy[slot] = prog_done
             if prog_done > finish:
                 finish = prog_done
         return finish
@@ -294,46 +476,57 @@ class FlashSSD(StorageDevice):
     def _rel_read(self, first_page: int, n_pages: int) -> _RelService:
         """:meth:`_read_pages` re-run with ``t_ready = 0`` on idle state."""
         g = self.geometry
+        td = self._total_dies
         pages = range(first_page, first_page + n_pages)
-        per_die_count: dict[tuple[int, int], int] = {}
+        per_die_count: dict[int, int] = {}
         for page in pages:
-            key = g.die_of_page(page)
-            per_die_count[key] = per_die_count.get(key, 0) + 1
-        die_rel: dict[tuple[int, int], float] = {}
+            slot = page % td
+            per_die_count[slot] = per_die_count.get(slot, 0) + 1
+        die_rel: dict[int, float] = {}
         chan_rel: dict[int, float] = {}
+        walk: list[tuple[int, int, float]] = []
         svc = 0.0
         for page in pages:
-            ch, die = g.die_of_page(page)
-            read_us = self._page_op_us(g.read_us, per_die_count[(ch, die)])
-            read_done = die_rel.get((ch, die), 0.0) + read_us
+            slot = page % td
+            ch = self._map_ch[slot]
+            read_us = self._page_op_us(g.read_us, per_die_count[slot])
+            walk.append((ch, slot, read_us))
+            read_done = die_rel.get(slot, 0.0) + read_us
             xfer_done = max(read_done, chan_rel.get(ch, 0.0)) + g.page_transfer_us
-            die_rel[(ch, die)] = read_done
+            die_rel[slot] = read_done
             chan_rel[ch] = xfer_done
             svc = max(svc, xfer_done)
-        return _RelService(svc, 0.0, die_rel, chan_rel, g.dies_per_channel)
+        return _RelService(
+            svc, 0.0, die_rel, chan_rel, first_page % td, n_pages,
+            td, g.channels, walk=walk,
+        )
 
     def _rel_program(
         self, first_page: int, n_pages: int, base: float
-    ) -> tuple[float, dict[tuple[int, int], float], dict[int, float]]:
+    ) -> tuple[float, dict[int, float], dict[int, float], list]:
         """:meth:`_program_pages` re-run at relative time ``base`` on idle state."""
         g = self.geometry
+        td = self._total_dies
         pages = range(first_page, first_page + n_pages)
-        per_die_count: dict[tuple[int, int], int] = {}
+        per_die_count: dict[int, int] = {}
         for page in pages:
-            key = g.die_of_page(page)
-            per_die_count[key] = per_die_count.get(key, 0) + 1
-        die_rel: dict[tuple[int, int], float] = {}
+            slot = page % td
+            per_die_count[slot] = per_die_count.get(slot, 0) + 1
+        die_rel: dict[int, float] = {}
         chan_rel: dict[int, float] = {}
+        walk: list[tuple[int, int, float]] = []
         finish = base
         for page in pages:
-            ch, die = g.die_of_page(page)
+            slot = page % td
+            ch = self._map_ch[slot]
             xfer_done = max(base, chan_rel.get(ch, 0.0)) + g.page_transfer_us
-            prog_us = self._page_op_us(g.program_us, per_die_count[(ch, die)])
-            prog_done = max(xfer_done, die_rel.get((ch, die), 0.0)) + prog_us
+            prog_us = self._page_op_us(g.program_us, per_die_count[slot])
+            walk.append((ch, slot, prog_us))
+            prog_done = max(xfer_done, die_rel.get(slot, 0.0)) + prog_us
             chan_rel[ch] = xfer_done
-            die_rel[(ch, die)] = prog_done
+            die_rel[slot] = prog_done
             finish = max(finish, prog_done)
-        return finish, die_rel, chan_rel
+        return finish, die_rel, chan_rel, walk
 
     def _rel_entry(self, op: OpType, first_page: int, n_pages: int, size: int) -> _RelService:
         """Cached relative service for one request shape."""
@@ -342,17 +535,29 @@ class FlashSSD(StorageDevice):
         entry = self._rel_cache.get(key)
         if entry is not None:
             return entry
+        nbytes = size * SECTOR_BYTES
         if op is OpType.READ:
             entry = self._rel_read(first_page, n_pages)
         else:
-            nbytes = size * SECTOR_BYTES
+            slot = first_page % self._total_dies
             if g.write_buffer_kb > 0 and nbytes <= g.write_buffer_kb * 1024:
                 ack_rel = g.buffer_write_us + nbytes / (self.channel.bandwidth_mb_s * 4)
-                drain_rel, die_rel, chan_rel = self._rel_program(first_page, n_pages, ack_rel)
-                entry = _RelService(ack_rel, drain_rel, die_rel, chan_rel, g.dies_per_channel)
+                drain_rel, die_rel, chan_rel, walk = self._rel_program(
+                    first_page, n_pages, ack_rel
+                )
+                entry = _RelService(
+                    ack_rel, drain_rel, die_rel, chan_rel, slot, n_pages,
+                    self._total_dies, g.channels, walk=walk,
+                )
             else:
-                finish_rel, die_rel, chan_rel = self._rel_program(first_page, n_pages, 0.0)
-                entry = _RelService(finish_rel, 0.0, die_rel, chan_rel, g.dies_per_channel)
+                finish_rel, die_rel, chan_rel, walk = self._rel_program(first_page, n_pages, 0.0)
+                entry = _RelService(
+                    finish_rel, 0.0, die_rel, chan_rel, slot, n_pages,
+                    self._total_dies, g.channels, walk=walk,
+                )
+            entry.is_read = False
+        entry.nbytes = nbytes
+        entry.buffered = 0 < nbytes <= self._buffer_capacity
         self._rel_cache[key] = entry
         return entry
 
@@ -452,16 +657,25 @@ class FlashSSD(StorageDevice):
         """
         if self.geometry.write_buffer_kb == 0:
             return True
-        return not bool(np.any(np.asarray(ops) == int(OpType.WRITE)))
+        # Single materialisation: ``asarray`` is a no-op for ndarray
+        # input and one conversion otherwise; the comparison reuses it.
+        ops_arr = np.asarray(ops)
+        return not bool((ops_arr == int(OpType.WRITE)).any())
 
     def _service_batch(
         self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
     ) -> np.ndarray:
-        g = self.geometry
+        if columnar_enabled():
+            return self._service_batch_columnar(ops, lbas, sizes)
+        return self._service_batch_scalar(ops, lbas, sizes)
+
+    def _service_batch_scalar(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Retained per-request loop — the grouped kernel's oracle."""
         lbas = np.asarray(lbas, dtype=np.int64)
         sizes = np.asarray(sizes, dtype=np.int64)
-        first = lbas // g.page_sectors
-        n_pages = (lbas + sizes - 1) // g.page_sectors - first + 1
+        first, n_pages = page_span(lbas, sizes, self._page_sectors)
         out = np.empty(len(lbas), dtype=np.float64)
         rel_entry = self._rel_entry
         read = OpType.READ
@@ -471,6 +685,214 @@ class FlashSSD(StorageDevice):
         ):
             out[i] = rel_entry(read if op == 0 else write, fp, npg, size).svc
         return out
+
+    def _service_batch_columnar(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Grouped service kernel: evaluate each distinct shape once.
+
+        A request's idle-state service depends only on its
+        ``(op, first_page % total_dies, n_pages, size)`` shape, so the
+        stream collapses to one memo evaluation per *unique* shape and
+        a scatter — subsuming the per-request ``_rel_entry`` loop (and
+        its dict lookups) for batch streams.  Bit-identical to
+        :meth:`_service_batch_scalar` because both read the same
+        memoised entries.
+        """
+        lbas = np.asarray(lbas, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        first, n_pages = page_span(lbas, sizes, self._page_sectors)
+        uniq, inverse = group_shapes(
+            np.asarray(ops), first % self._total_dies, n_pages, sizes
+        )
+        svc = np.empty(len(uniq), dtype=np.float64)
+        rel_entry = self._rel_entry
+        read = OpType.READ
+        write = OpType.WRITE
+        for j, (op, slot, npg, size) in enumerate(uniq.tolist()):
+            svc[j] = rel_entry(read if op == 0 else write, slot, npg, size).svc
+        return svc[inverse]
+
+    # ------------------------------------------------------------------
+    # replay-plan kernels (queue-depth event loop fast path)
+    # ------------------------------------------------------------------
+
+    def replay_plan(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray):
+        """Fragment plan for the queue-depth event loop (one frag/request).
+
+        Pure — resolves every request's memoised relative-service entry
+        up front (grouped by shape) so the event loop can run the
+        device's fast paths without per-request key construction, dict
+        lookups, or method dispatch.  Plans are content-cached: two
+        devices with equal fingerprints replaying the same stream share
+        one plan.  ``None`` when the columnar engines are disabled.
+        """
+        if not columnar_enabled():
+            return None
+        key = (self.fingerprint(), _stream_digest(ops, lbas, sizes))
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            return plan
+        ops = np.asarray(ops)
+        lbas = np.asarray(lbas, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        n = len(lbas)
+        first, n_pages = page_span(lbas, sizes, self._page_sectors)
+        entries = self._entries_for(ops, first, n_pages, sizes)
+        frags = list(zip([0] * n, entries))
+        plan = FlashReplayPlan(list(range(n + 1)), frags, array_level=False)
+        _plan_cache_put(key, plan)
+        return plan
+
+    def _entries_for(
+        self, ops: np.ndarray, first: np.ndarray, n_pages: np.ndarray, sizes: np.ndarray
+    ) -> list[_RelService]:
+        """Per-row memo entries, evaluated once per unique shape."""
+        uniq, inverse = group_shapes(ops, first % self._total_dies, n_pages, sizes)
+        rel_entry = self._rel_entry
+        read = OpType.READ
+        write = OpType.WRITE
+        uniq_entries = [
+            rel_entry(read if op == 0 else write, slot, npg, size)
+            for op, slot, npg, size in uniq.tolist()
+        ]
+        return [uniq_entries[j] for j in inverse.tolist()]
+
+    def _busy_read(self, entry: _RelService, t_ready: float) -> float:
+        """Busy-state read walk with the shape's striping prefetched.
+
+        Bit-identical to :meth:`_read_pages` (the retained oracle): the
+        memoised walk replays the exact per-page recurrence with the
+        modulo/dict work resolved at shape-evaluation time.  Shapes
+        with independent pages compute only the exceptional busy
+        dies/channels and slice-fill the uniform remainder; large
+        extents hand off to the columnar wave kernel.
+        """
+        if entry.n_pages >= COLUMNAR_MIN_PAGES:
+            g = self.geometry
+            return read_wave_kernel(
+                entry.slot, entry.n_pages, t_ready, self._die_busy, self._chan_busy,
+                g.channels, self._total_dies,
+                g.read_us, g.page_transfer_us, g.planes_per_die, self.plane_interleave,
+            )
+        xfer_us = self.geometry.page_transfer_us
+        die_busy, chan_busy = self._die_busy, self._chan_busy
+        pairs = entry.walk_pairs
+        if pairs is not None:
+            # Independent pages: an idle page's read_done is exactly
+            # fl(t_ready + op) and its transfer fl(v1 + xfer) — the
+            # same operands the per-page loop would use.
+            v1 = t_ready + entry.walk_op_us
+            w1 = v1 + xfer_us
+            finish = t_ready
+            die_over = None
+            chan_over = None
+            uniform = False
+            for ch, slot in pairs:
+                d = die_busy[slot]
+                c = chan_busy[ch]
+                if d <= t_ready and c <= v1:
+                    uniform = True
+                    continue
+                read_done = max(t_ready, d) + entry.walk_op_us
+                xfer_done = max(read_done, c) + xfer_us
+                if die_over is None:
+                    die_over = []
+                    chan_over = []
+                die_over.append((slot, read_done))
+                chan_over.append((ch, xfer_done))
+                if xfer_done > finish:
+                    finish = xfer_done
+            if uniform and w1 > finish:
+                finish = w1
+            a, b, b2 = entry.die_segs
+            die_busy[a:b] = [v1] * (b - a)
+            if b2:
+                die_busy[:b2] = [v1] * b2
+            a, b, b2 = entry.chan_segs
+            chan_busy[a:b] = [w1] * (b - a)
+            if b2:
+                chan_busy[:b2] = [w1] * b2
+            if die_over is not None:
+                for slot, v in die_over:
+                    die_busy[slot] = v
+                for ch, v in chan_over:
+                    chan_busy[ch] = v
+            return finish
+        finish = t_ready
+        for ch, slot, read_us in entry.walk:
+            read_done = max(t_ready, die_busy[slot]) + read_us
+            xfer_done = max(read_done, chan_busy[ch]) + xfer_us
+            die_busy[slot] = read_done
+            chan_busy[ch] = xfer_done
+            if xfer_done > finish:
+                finish = xfer_done
+        return finish
+
+    def _busy_program(self, entry: _RelService, t_ready: float) -> float:
+        """Busy-state program walk; oracle is :meth:`_program_pages`."""
+        if entry.n_pages >= COLUMNAR_MIN_PAGES:
+            g = self.geometry
+            return program_wave_kernel(
+                entry.slot, entry.n_pages, t_ready, self._die_busy, self._chan_busy,
+                g.channels, self._total_dies,
+                g.program_us, g.page_transfer_us, g.planes_per_die, self.plane_interleave,
+            )
+        xfer_us = self.geometry.page_transfer_us
+        die_busy, chan_busy = self._die_busy, self._chan_busy
+        pairs = entry.walk_pairs
+        if pairs is not None:
+            v1 = t_ready + xfer_us
+            w1 = v1 + entry.walk_op_us
+            finish = t_ready
+            die_over = None
+            chan_over = None
+            uniform = False
+            for ch, slot in pairs:
+                c = chan_busy[ch]
+                d = die_busy[slot]
+                if c <= t_ready:
+                    if d <= v1:
+                        uniform = True
+                        continue
+                    xfer_done = v1
+                else:
+                    xfer_done = max(t_ready, c) + xfer_us
+                    if chan_over is None:
+                        chan_over = []
+                    chan_over.append((ch, xfer_done))
+                prog_done = max(xfer_done, d) + entry.walk_op_us
+                if die_over is None:
+                    die_over = []
+                die_over.append((slot, prog_done))
+                if prog_done > finish:
+                    finish = prog_done
+            if uniform and w1 > finish:
+                finish = w1
+            a, b, b2 = entry.chan_segs
+            chan_busy[a:b] = [v1] * (b - a)
+            if b2:
+                chan_busy[:b2] = [v1] * b2
+            a, b, b2 = entry.die_segs
+            die_busy[a:b] = [w1] * (b - a)
+            if b2:
+                die_busy[:b2] = [w1] * b2
+            if chan_over is not None:
+                for ch, v in chan_over:
+                    chan_busy[ch] = v
+            if die_over is not None:
+                for slot, v in die_over:
+                    die_busy[slot] = v
+            return finish
+        finish = t_ready
+        for ch, slot, prog_us in entry.walk:
+            xfer_done = max(t_ready, chan_busy[ch]) + xfer_us
+            prog_done = max(xfer_done, die_busy[slot]) + prog_us
+            chan_busy[ch] = xfer_done
+            die_busy[slot] = prog_done
+            if prog_done > finish:
+                finish = prog_done
+        return finish
 
     def _expected_service(self, op: OpType, size: int, sequential: bool) -> float:
         """Analytic nominal :math:`T_{sdev}` for a request shape.

@@ -24,6 +24,7 @@ import numpy as np
 from ..trace.record import OpType
 from .channel import InterfaceChannel
 from .device import StorageDevice
+from .kernels import columnar_enabled
 
 __all__ = ["Raid0", "Raid1"]
 
@@ -117,13 +118,21 @@ class Raid0(_RaidBase):
 
     def _member_streams(
         self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
-    ) -> list[tuple[list[int], list[int], list[int], list[int]]] | None:
+    ) -> list[tuple] | None:
         """Per-member ``(request_idx, ops, lbas, sizes)`` fragment streams.
 
         ``None`` when some extent spans more stripes than there are
         members — its same-member fragments would queue behind each
         other, breaking the max-of-independent-fragments combination.
         """
+        if columnar_enabled():
+            return self._member_streams_columnar(ops, lbas, sizes)
+        return self._member_streams_scalar(ops, lbas, sizes)
+
+    def _member_streams_scalar(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> list[tuple[list[int], list[int], list[int], list[int]]] | None:
+        """Retained per-request stream builder — the columnar oracle."""
         n_members = len(self.members)
         streams: list[tuple[list[int], list[int], list[int], list[int]]] = [
             ([], [], [], []) for _ in range(n_members)
@@ -141,6 +150,45 @@ class Raid0(_RaidBase):
                 f_ops.append(ops_l[i])
                 f_lbas.append(local_lba)
                 f_sizes.append(local_size)
+        return streams
+
+    def _member_streams_columnar(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] | None:
+        """Stripe fan-out as index arithmetic (one pass per member).
+
+        Produces the same per-member streams as the scalar walk —
+        fragments in request order, stripe round-robin collapsed into
+        dense member addresses — built from flat fragment columns and
+        boolean masks instead of per-request list appends.
+        """
+        n_members = len(self.members)
+        ss = self.stripe_sectors
+        ops_arr = np.asarray(ops)
+        lbas = np.asarray(lbas, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        n = len(lbas)
+        stripe0 = lbas // ss
+        spans = (lbas + sizes - 1) // ss - stripe0 + 1
+        if n and int(spans.max()) > n_members:
+            return None
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(spans, out=offsets[1:])
+        total = int(offsets[-1])
+        req = np.repeat(np.arange(n, dtype=np.int64), spans)
+        k = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], spans)
+        frag_stripe = stripe0[req] + k
+        frag_start = np.maximum(lbas[req], frag_stripe * ss)
+        frag_end = np.minimum((lbas + sizes)[req], (frag_stripe + 1) * ss)
+        within = frag_start - frag_stripe * ss
+        local = (frag_stripe // n_members) * ss + within
+        member = frag_stripe % n_members
+        ops_f = ops_arr[req]
+        frag_size = frag_end - frag_start
+        streams = []
+        for m in range(n_members):
+            sel = member == m
+            streams.append((req[sel], ops_f[sel], local[sel], frag_size[sel]))
         return streams
 
     def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:
@@ -234,8 +282,18 @@ class Raid1(_RaidBase):
 
     def _member_streams(
         self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray, counter: int
-    ) -> list[tuple[list[int], list[int], list[int], list[int]]]:
+    ) -> list[tuple]:
         """Per-member substreams: each read on its chosen mirror, writes on all."""
+        # A custom read policy is an arbitrary Python callable, so only
+        # the default round-robin balancer has a columnar expression.
+        if columnar_enabled() and self._read_policy is None:
+            return self._member_streams_columnar(ops, lbas, sizes, counter)
+        return self._member_streams_scalar(ops, lbas, sizes, counter)
+
+    def _member_streams_scalar(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray, counter: int
+    ) -> list[tuple[list[int], list[int], list[int], list[int]]]:
+        """Retained per-request stream builder — the columnar oracle."""
         n_members = len(self.members)
         streams: list[tuple[list[int], list[int], list[int], list[int]]] = [
             ([], [], [], []) for _ in range(n_members)
@@ -260,6 +318,29 @@ class Raid1(_RaidBase):
                 f_ops.append(ops_l[i])
                 f_lbas.append(lbas_l[i])
                 f_sizes.append(sizes_l[i])
+        return streams
+
+    def _member_streams_columnar(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray, counter: int
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Mirror fan-out as index arithmetic (round-robin policy only).
+
+        Read ``r`` (in stream order) lands on member
+        ``(counter + r) % n`` — the strict-alternation balancer as a
+        cumulative count — and writes broadcast to every member, all
+        selected with boolean masks that preserve request order.
+        """
+        n_members = len(self.members)
+        ops_arr = np.asarray(ops)
+        lbas = np.asarray(lbas, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        idx = np.arange(len(lbas), dtype=np.int64)
+        is_read = ops_arr == int(OpType.READ)
+        chosen = (counter + np.cumsum(is_read) - 1) % n_members
+        streams = []
+        for m in range(n_members):
+            sel = ~is_read | (chosen == m)
+            streams.append((idx[sel], ops_arr[sel], lbas[sel], sizes[sel]))
         return streams
 
     def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:

@@ -1,0 +1,519 @@
+"""Bit-identity suite for the columnar device-model kernels.
+
+Every columnar kernel introduced by the storage-emulation overhaul must
+reproduce its retained scalar oracle *exactly* — same IEEE-754 doubles,
+same simulator state afterwards:
+
+- the wave kernels (:func:`repro.storage.kernels.read_wave_kernel` /
+  ``program_wave_kernel``) against the scalar per-page walks
+  ``FlashSSD._read_pages`` / ``_program_pages``;
+- the memoised busy walks (``FlashSSD._busy_read`` / ``_busy_program``,
+  including the exception/slice split) against the same oracles;
+- the grouped ``_service_batch`` kernels (flash and array) against the
+  retained per-request loops;
+- the RAID member-stream decomposition against the scalar builders;
+- the plan-based queue-depth event loop against the scalar replay
+  oracle, including *simulator-state equivalence* (die/channel busy
+  stamps, write-buffer occupancy, horizons, RNG state where present)
+  and mixed batch/scalar use.
+
+CI runs this file twice: once with the columnar engines enabled and
+once with ``REPRO_SCALAR_KERNELS=1`` forcing the scalar paths, so the
+oracles cannot rot (see ``_forced_scalar`` below — when the engines are
+forced off the identity assertions compare the oracle with itself,
+which still exercises the toggle plumbing and the scalar paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.replay import replay_queue_depth, replay_queue_depth_scalar
+from repro.storage import FlashArray, FlashGeometry, FlashSSD, HDDModel, Raid0, Raid1
+from repro.storage import kernels
+from repro.storage.kernels import (
+    COLUMNAR_MIN_PAGES,
+    group_shapes,
+    page_span,
+    program_wave_kernel,
+    read_wave_kernel,
+)
+from repro.trace.record import OpType
+from repro.trace.trace import BlockTrace
+from test_replay_batch import DEVICE_FACTORIES, assert_replays_identical
+
+#: Geometries covering the default device, a tiny array-shaped layout,
+#: single-plane dies, and a buffer-less configuration.
+GEOMETRIES = {
+    "default": FlashGeometry(),
+    "tiny": FlashGeometry(channels=3, dies_per_channel=2, planes_per_die=2, page_kb=4),
+    "single-plane": FlashGeometry(channels=4, dies_per_channel=1, planes_per_die=1),
+    "no-buffer": FlashGeometry(write_buffer_kb=0),
+    "wide-planes": FlashGeometry(channels=2, dies_per_channel=3, planes_per_die=4),
+}
+
+
+def _random_state(rng, ssd):
+    """Random busy stamps: a mix of idle, mildly busy, and far-future."""
+    g = ssd.geometry
+    die = rng.uniform(0.0, 3000.0, g.total_dies)
+    die[rng.random(g.total_dies) < 0.4] = 0.0
+    chan = rng.uniform(0.0, 2000.0, g.channels)
+    chan[rng.random(g.channels) < 0.4] = 0.0
+    ssd._die_busy = die.tolist()
+    ssd._chan_busy = chan.tolist()
+
+
+def _clone_state(ssd):
+    return list(ssd._die_busy), list(ssd._chan_busy)
+
+
+class TestWaveKernels:
+    """Wave kernels vs the scalar page walks, all sizes and states."""
+
+    @pytest.mark.parametrize("geom_key", sorted(GEOMETRIES))
+    @pytest.mark.parametrize("interleave", [True, False])
+    def test_read_wave_bit_identical(self, geom_key, interleave):
+        g = GEOMETRIES[geom_key]
+        ssd = FlashSSD(geometry=g, plane_interleave=interleave)
+        rng = np.random.default_rng(7)
+        td = g.total_dies
+        for n_pages in [1, 2, g.channels - 1, g.channels, g.channels + 1,
+                        td - 1, td, td + 1, 2 * td, 3 * td + 5]:
+            if n_pages < 1:
+                continue
+            for first_page in [0, 1, td - 1, 7 * td + 3]:
+                for t_ready in [0.0, 123.456]:
+                    _random_state(rng, ssd)
+                    d0, c0 = _clone_state(ssd)
+                    oracle = ssd._read_pages(range(first_page, first_page + n_pages), t_ready)
+                    d1, c1 = _clone_state(ssd)
+                    ssd._die_busy, ssd._chan_busy = list(d0), list(c0)
+                    got = read_wave_kernel(
+                        first_page, n_pages, t_ready, ssd._die_busy, ssd._chan_busy,
+                        g.channels, td, g.read_us, g.page_transfer_us,
+                        g.planes_per_die, interleave,
+                    )
+                    assert got == oracle
+                    assert ssd._die_busy == d1
+                    assert ssd._chan_busy == c1
+
+    @pytest.mark.parametrize("geom_key", sorted(GEOMETRIES))
+    @pytest.mark.parametrize("interleave", [True, False])
+    def test_program_wave_bit_identical(self, geom_key, interleave):
+        g = GEOMETRIES[geom_key]
+        ssd = FlashSSD(geometry=g, plane_interleave=interleave)
+        rng = np.random.default_rng(11)
+        td = g.total_dies
+        for n_pages in [1, 3, g.channels, g.channels + 2, td, td + 1, 2 * td + 3]:
+            for first_page in [0, td - 2, 5 * td + 1]:
+                if first_page < 0:
+                    continue
+                for t_ready in [0.0, 987.25]:
+                    _random_state(rng, ssd)
+                    d0, c0 = _clone_state(ssd)
+                    oracle = ssd._program_pages(
+                        range(first_page, first_page + n_pages), t_ready
+                    )
+                    d1, c1 = _clone_state(ssd)
+                    ssd._die_busy, ssd._chan_busy = list(d0), list(c0)
+                    got = program_wave_kernel(
+                        first_page, n_pages, t_ready, ssd._die_busy, ssd._chan_busy,
+                        g.channels, td, g.program_us, g.page_transfer_us,
+                        g.planes_per_die, interleave,
+                    )
+                    assert got == oracle
+                    assert ssd._die_busy == d1
+                    assert ssd._chan_busy == c1
+
+
+class TestBusyWalks:
+    """Memoised busy walks (exception/slice split + wave dispatch)."""
+
+    @pytest.mark.parametrize("geom_key", sorted(GEOMETRIES))
+    def test_busy_read_matches_oracle(self, geom_key):
+        g = GEOMETRIES[geom_key]
+        ssd = FlashSSD(geometry=g)
+        rng = np.random.default_rng(23)
+        ps = g.page_sectors
+        for n_pages in [1, 2, g.channels, g.channels + 1, COLUMNAR_MIN_PAGES + 3]:
+            for lba_page in [0, 3, g.total_dies + 1]:
+                lba = lba_page * ps
+                size = n_pages * ps
+                entry = ssd._rel_entry(OpType.READ, lba // ps, n_pages, size)
+                for t_ready in [0.0, 500.5]:
+                    _random_state(rng, ssd)
+                    d0, c0 = _clone_state(ssd)
+                    oracle = ssd._read_pages(ssd._pages_of(lba, size), t_ready)
+                    d1, c1 = _clone_state(ssd)
+                    ssd._die_busy, ssd._chan_busy = list(d0), list(c0)
+                    got = ssd._busy_read(entry, t_ready)
+                    assert got == oracle
+                    assert ssd._die_busy == d1
+                    assert ssd._chan_busy == c1
+
+    @pytest.mark.parametrize("geom_key", sorted(GEOMETRIES))
+    def test_busy_program_matches_oracle(self, geom_key):
+        g = GEOMETRIES[geom_key]
+        ssd = FlashSSD(geometry=g)
+        rng = np.random.default_rng(29)
+        ps = g.page_sectors
+        for n_pages in [1, 2, g.channels, g.channels + 2, COLUMNAR_MIN_PAGES + 1]:
+            for lba_page in [0, 5]:
+                lba = lba_page * ps
+                size = n_pages * ps
+                entry = ssd._rel_entry(OpType.WRITE, lba // ps, n_pages, size)
+                for t_ready in [0.0, 77.125]:
+                    _random_state(rng, ssd)
+                    d0, c0 = _clone_state(ssd)
+                    oracle = ssd._program_pages(ssd._pages_of(lba, size), t_ready)
+                    d1, c1 = _clone_state(ssd)
+                    ssd._die_busy, ssd._chan_busy = list(d0), list(c0)
+                    got = ssd._busy_program(entry, t_ready)
+                    assert got == oracle
+                    assert ssd._die_busy == d1
+                    assert ssd._chan_busy == c1
+
+
+class TestMultiPlaneInterleave:
+    """Satellite: ``_page_op_us`` edge cases, scalar vs columnar."""
+
+    def test_planes_per_die_one_no_speedup(self):
+        g = FlashGeometry(channels=2, dies_per_channel=2, planes_per_die=1)
+        ssd = FlashSSD(geometry=g)
+        # Page count above the die count forces multi-visit waves.
+        assert ssd._page_op_us(g.read_us, 3) == g.read_us
+        self._assert_kernels_match(g, plane_interleave=True)
+
+    def test_interleave_disabled(self):
+        self._assert_kernels_match(FlashGeometry(), plane_interleave=False)
+
+    @pytest.mark.parametrize("n_pages_per_die", [1, 2, 3, 5])
+    def test_page_count_around_plane_count(self, n_pages_per_die):
+        # planes_per_die = 2: covers below (1), at (2), above (3, 5).
+        g = FlashGeometry(channels=2, dies_per_channel=1, planes_per_die=2)
+        ssd = FlashSSD(geometry=g)
+        n_pages = n_pages_per_die * g.total_dies
+        oracle = ssd._read_pages(range(0, n_pages), 0.0)
+        d1, c1 = list(ssd._die_busy), list(ssd._chan_busy)
+        ssd.reset()
+        got = read_wave_kernel(
+            0, n_pages, 0.0, ssd._die_busy, ssd._chan_busy,
+            g.channels, g.total_dies, g.read_us, g.page_transfer_us,
+            g.planes_per_die, True,
+        )
+        assert got == oracle
+        assert ssd._die_busy == d1 and ssd._chan_busy == c1
+
+    @staticmethod
+    def _assert_kernels_match(g, plane_interleave):
+        ssd = FlashSSD(geometry=g, plane_interleave=plane_interleave)
+        for n_pages in [1, g.planes_per_die, g.planes_per_die + 1, 2 * g.total_dies]:
+            ssd.reset()
+            oracle = ssd._program_pages(range(3, 3 + n_pages), 10.0)
+            d1, c1 = list(ssd._die_busy), list(ssd._chan_busy)
+            ssd.reset()
+            got = program_wave_kernel(
+                3, n_pages, 10.0, ssd._die_busy, ssd._chan_busy,
+                g.channels, g.total_dies, g.program_us, g.page_transfer_us,
+                g.planes_per_die, plane_interleave,
+            )
+            assert got == oracle
+            assert ssd._die_busy == d1 and ssd._chan_busy == c1
+
+
+def _random_stream(rng, n, max_lba=1 << 22, max_size=600):
+    return (
+        rng.integers(0, 2, n).astype(np.int8),
+        rng.integers(0, max_lba, n),
+        rng.integers(1, max_size, n),
+    )
+
+
+class TestGroupedServiceBatch:
+    """Grouped unique-shape kernels vs the retained per-request loops."""
+
+    @pytest.mark.parametrize("geom_key", sorted(GEOMETRIES))
+    def test_flash_service_batch_identical(self, geom_key):
+        g = GEOMETRIES[geom_key]
+        rng = np.random.default_rng(31)
+        ops, lbas, sizes = _random_stream(rng, 300)
+        ssd = FlashSSD(geometry=g)
+        d0, c0 = _clone_state(ssd)
+        scalar = ssd._service_batch_scalar(ops, lbas, sizes)
+        columnar = ssd._service_batch_columnar(ops, lbas, sizes)
+        np.testing.assert_array_equal(scalar, columnar)
+        # Both paths are pure w.r.t. timing state.
+        assert ssd._die_busy == d0 and ssd._chan_busy == c0
+
+    def test_array_service_batch_identical(self):
+        rng = np.random.default_rng(37)
+        ops, lbas, sizes = _random_stream(rng, 300)
+        arr = FlashArray()
+        scalar = arr._service_batch_scalar(ops, lbas, sizes)
+        columnar = arr._service_batch_columnar(ops, lbas, sizes)
+        np.testing.assert_array_equal(scalar, columnar)
+
+    def test_array_service_batch_wide_extents(self):
+        # Extents spanning many stripes (fragment count above n_ssds).
+        arr = FlashArray(n_ssds=3, stripe_kb=8)
+        ops = np.zeros(40, dtype=np.int8)
+        lbas = np.arange(40, dtype=np.int64) * 13
+        sizes = np.full(40, 8 * 2 * 7, dtype=np.int64)  # 7 stripes each
+        np.testing.assert_array_equal(
+            arr._service_batch_scalar(ops, lbas, sizes),
+            arr._service_batch_columnar(ops, lbas, sizes),
+        )
+
+    def test_group_shapes_roundtrip(self):
+        rng = np.random.default_rng(41)
+        ops = rng.integers(0, 2, 500)
+        slots = rng.integers(0, 36, 500)
+        n_pages = rng.integers(1, 40, 500)
+        sizes = rng.integers(1, 1 << 40, 500)  # forces the row-unique fallback
+        uniq, inverse = group_shapes(ops, slots, n_pages, sizes)
+        rebuilt = uniq[inverse]
+        np.testing.assert_array_equal(rebuilt[:, 0], ops)
+        np.testing.assert_array_equal(rebuilt[:, 1], slots)
+        np.testing.assert_array_equal(rebuilt[:, 2], n_pages)
+        np.testing.assert_array_equal(rebuilt[:, 3], sizes)
+
+    def test_page_span_matches_pages_of(self):
+        ssd = FlashSSD()
+        ps = ssd.geometry.page_sectors
+        for lba, size in [(0, 1), (ps - 1, 1), (ps - 1, 2), (123456, 999)]:
+            first, n_pages = page_span(lba, size, ps)
+            pages = ssd._pages_of(lba, size)
+            assert pages.start == first and len(pages) == n_pages
+
+
+class TestRaidStreams:
+    """RAID fan-out: columnar member streams vs the scalar builders."""
+
+    def _assert_streams_equal(self, got, expected):
+        assert (got is None) == (expected is None)
+        if expected is None:
+            return
+        assert len(got) == len(expected)
+        for g_s, e_s in zip(got, expected):
+            for col_g, col_e in zip(g_s, e_s):
+                np.testing.assert_array_equal(np.asarray(col_g), np.asarray(col_e))
+
+    def test_raid0_streams_identical(self):
+        rng = np.random.default_rng(43)
+        raid = Raid0([HDDModel(seed=s) for s in (1, 2, 3)], stripe_kb=64)
+        ops, lbas, sizes = _random_stream(rng, 200, max_size=64 * 2 * 3)
+        self._assert_streams_equal(
+            raid._member_streams_columnar(ops, lbas, sizes),
+            raid._member_streams_scalar(ops, lbas, sizes),
+        )
+
+    def test_raid0_wide_extent_rejected_by_both(self):
+        raid = Raid0([HDDModel(seed=s) for s in (1, 2)], stripe_kb=8)
+        ops = np.zeros(3, dtype=np.int8)
+        lbas = np.array([0, 5, 10])
+        sizes = np.array([8, 8 * 2 * 5, 8])  # middle spans > 2 stripes
+        assert raid._member_streams_scalar(ops, lbas, sizes) is None
+        assert raid._member_streams_columnar(ops, lbas, sizes) is None
+
+    @pytest.mark.parametrize("counter", [0, 1, 5])
+    def test_raid1_streams_identical(self, counter):
+        rng = np.random.default_rng(47)
+        raid = Raid1([HDDModel(seed=s) for s in (1, 2)])
+        ops, lbas, sizes = _random_stream(rng, 150)
+        self._assert_streams_equal(
+            raid._member_streams_columnar(ops, lbas, sizes, counter),
+            raid._member_streams_scalar(ops, lbas, sizes, counter),
+        )
+
+    def test_raid1_custom_policy_uses_scalar(self):
+        raid = Raid1(
+            [HDDModel(seed=s) for s in (1, 2)],
+            read_policy=lambda lba, n: lba % n,
+        )
+        rng = np.random.default_rng(53)
+        ops, lbas, sizes = _random_stream(rng, 60)
+        streams = raid._member_streams(ops, lbas, sizes, 0)
+        expected = raid._member_streams_scalar(ops, lbas, sizes, 0)
+        self._assert_streams_equal(streams, expected)
+
+    def test_raid_service_batch_end_to_end(self):
+        rng = np.random.default_rng(59)
+        for make in (
+            lambda: Raid0([HDDModel(seed=s) for s in (1, 2, 3)], stripe_kb=64),
+            lambda: Raid1([HDDModel(seed=s) for s in (1, 2)]),
+        ):
+            ops, lbas, sizes = _random_stream(rng, 120, max_size=64 * 2 * 3)
+            d1, d2 = make(), make()
+            got = d1.service_batch(ops, lbas, sizes)
+            kernels.set_force_scalar(True)
+            try:
+                expected = d2.service_batch(ops, lbas, sizes)
+            finally:
+                kernels.set_force_scalar(False)
+            assert (got is None) == (expected is None)
+            if got is not None:
+                np.testing.assert_array_equal(got, expected)
+
+
+def _flash_state(device):
+    """Comparable simulator-state snapshot for flash-family devices."""
+    ssds = device.ssds if isinstance(device, FlashArray) else [device]
+    return [
+        (
+            s._die_busy,
+            s._chan_busy,
+            s._state_horizon,
+            list(s._buffered),
+            s._buffered_bytes,
+        )
+        for s in ssds
+    ]
+
+
+class TestPlanReplayStateEquivalence:
+    """Plan event loop: stamps AND simulator state match the oracle."""
+
+    @pytest.mark.parametrize(
+        "device_key", ["flash-buffered", "flash-nobuffer", "array-default", "array-nobuffer"]
+    )
+    @pytest.mark.parametrize("queue_depth", [2, 4, 9])
+    def test_state_after_replay(self, device_key, queue_depth):
+        make = DEVICE_FACTORIES[device_key]
+        rng = np.random.default_rng(61)
+        n = 120
+        trace = BlockTrace(
+            timestamps=np.cumsum(rng.integers(1, 200, n)).astype(np.float64),
+            lbas=rng.integers(0, 1 << 22, n),
+            sizes=rng.integers(1, 600, n),
+            ops=rng.integers(0, 2, n).astype(np.int8),
+        )
+        idle = rng.uniform(0, 800.0, n - 1)
+        fast_dev, oracle_dev = make(), make()
+        fast = replay_queue_depth(trace, fast_dev, idle_us=idle, queue_depth=queue_depth)
+        oracle = replay_queue_depth_scalar(
+            trace, oracle_dev, idle_us=idle, queue_depth=queue_depth
+        )
+        assert_replays_identical(fast, oracle)
+        assert _flash_state(fast_dev) == _flash_state(oracle_dev)
+
+    def test_state_after_mixed_batch_and_scalar_use(self):
+        """Batch pricing, replay, then scalar submits — state stays lockstep."""
+        rng = np.random.default_rng(67)
+        n = 60
+        trace = BlockTrace(
+            timestamps=np.arange(n, dtype=np.float64),
+            lbas=rng.integers(0, 1 << 20, n),
+            sizes=rng.integers(1, 300, n),
+            ops=np.zeros(n, dtype=np.int8),  # reads: batch-capable
+        )
+        d_fast, d_oracle = FlashArray(), FlashArray()
+        # Pure batch pricing consumes no timing state on either engine.
+        svc_fast = d_fast.service_batch(trace.ops, trace.lbas, trace.sizes)
+        kernels.set_force_scalar(True)
+        try:
+            svc_oracle = d_oracle.service_batch(trace.ops, trace.lbas, trace.sizes)
+        finally:
+            kernels.set_force_scalar(False)
+        np.testing.assert_array_equal(svc_fast, svc_oracle)
+        # Replay (plan engine vs oracle), then identical scalar submits.
+        fast = replay_queue_depth(trace, d_fast, queue_depth=3)
+        oracle = replay_queue_depth_scalar(trace, d_oracle, queue_depth=3)
+        assert_replays_identical(fast, oracle)
+        t = float(fast.finishes[-1]) + 1e4
+        for j in range(8):
+            c_fast = d_fast.submit(OpType.READ, int(trace.lbas[j]), int(trace.sizes[j]), t)
+            c_oracle = d_oracle.submit(
+                OpType.READ, int(trace.lbas[j]), int(trace.sizes[j]), t
+            )
+            assert (c_fast.start, c_fast.ack, c_fast.finish) == (
+                c_oracle.start, c_oracle.ack, c_oracle.finish
+            )
+            t = c_fast.finish + 5.0
+        assert _flash_state(d_fast) == _flash_state(d_oracle)
+
+    def test_hdd_rng_state_unaffected(self):
+        """Non-plan devices keep RNG lockstep (regression guard)."""
+        rng = np.random.default_rng(71)
+        n = 40
+        trace = BlockTrace(
+            timestamps=np.arange(n, dtype=np.float64),
+            lbas=rng.integers(0, 1 << 20, n),
+            sizes=rng.integers(1, 200, n),
+            ops=rng.integers(0, 2, n).astype(np.int8),
+        )
+        d1, d2 = HDDModel(), HDDModel()
+        fast = replay_queue_depth(trace, d1, queue_depth=4)
+        oracle = replay_queue_depth_scalar(trace, d2, queue_depth=4)
+        assert_replays_identical(fast, oracle)
+        assert d1._rng.uniform() == d2._rng.uniform()
+
+
+class TestForcedScalarToggle:
+    """The env toggle swaps engines without changing any result."""
+
+    def test_replay_identical_under_both_engines(self):
+        rng = np.random.default_rng(73)
+        n = 80
+        trace = BlockTrace(
+            timestamps=np.arange(n, dtype=np.float64),
+            lbas=rng.integers(0, 1 << 22, n),
+            sizes=rng.integers(1, 600, n),
+            ops=rng.integers(0, 2, n).astype(np.int8),
+        )
+        idle = rng.uniform(0, 500.0, n - 1)
+        d1, d2 = FlashArray(), FlashArray()
+        columnar = replay_queue_depth(trace, d1, idle_us=idle, queue_depth=4)
+        kernels.set_force_scalar(True)
+        try:
+            assert d2.replay_plan(trace.ops, trace.lbas, trace.sizes) is None
+            forced = replay_queue_depth(trace, d2, idle_us=idle, queue_depth=4)
+        finally:
+            kernels.set_force_scalar(False)
+        assert_replays_identical(columnar, forced)
+        assert _flash_state(d1) == _flash_state(d2)
+
+    def test_toggle_reflects_environment(self, monkeypatch):
+        import importlib
+
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+        state = kernels._FORCE_SCALAR
+        try:
+            importlib.reload(kernels)
+            assert not kernels.columnar_enabled()
+        finally:
+            monkeypatch.delenv("REPRO_SCALAR_KERNELS")
+            importlib.reload(kernels)
+            kernels.set_force_scalar(state)
+
+
+class TestFastVsScalarPathPin:
+    """Satellite: pin the known ~1-ulp seed-revision delta precisely.
+
+    The memoised fast path sums *relative* offsets before adding
+    ``t_ready``; the seed-era scalar walk added ``t_ready`` first.  The
+    two can differ at rounding level for multi-wave shapes — but batch,
+    plan-replay, and scalar engines (which all share the memoised
+    ``_service``) must agree with each other with tolerance zero.
+    This test pins that contract across the zoo.
+    """
+
+    @pytest.mark.parametrize("device_key", sorted(DEVICE_FACTORIES))
+    def test_batch_vs_scalar_tolerance_zero(self, device_key):
+        from repro.replay import replay_with_idle, replay_with_idle_batch
+
+        rng = np.random.default_rng(79)
+        n = 64
+        trace = BlockTrace(
+            timestamps=np.cumsum(rng.integers(1, 400, n)).astype(np.float64),
+            lbas=rng.integers(0, 1 << 22, n),
+            sizes=rng.integers(1, 96, n),
+            ops=rng.integers(0, 2, n).astype(np.int8),
+        )
+        idle = rng.uniform(0.0, 1e4, n - 1)
+        make = DEVICE_FACTORIES[device_key]
+        batch = replay_with_idle_batch(trace, make(), idle_us=idle)
+        scalar = replay_with_idle(trace, make(), idle_us=idle)
+        # Tolerance-zero: assert_array_equal is exact equality.
+        assert_replays_identical(batch, scalar)
