@@ -645,7 +645,7 @@ class CampaignEngine:
 
     def _write_outputs(self, table: ResultsTable, n_resumed: int, n_computed: int) -> None:
         """Persist the aggregate next to the checkpoints."""
-        from ..experiments.reporting import campaign_report
+        from ..experiments.reporting import ab_campaign_report, campaign_report
 
         assert self.out_dir is not None
         table.save_npz(self.out_dir / "results.npz")
@@ -653,6 +653,8 @@ class CampaignEngine:
         report = campaign_report(
             self.spec, table, n_resumed=n_resumed, n_computed=n_computed
         )
+        if self.spec.options.get("ab"):
+            report = report + "\n" + ab_campaign_report(self.spec, table)
         (self.out_dir / "report.md").write_text(report, encoding="utf-8")
 
 

@@ -145,6 +145,13 @@ class CampaignSpec:
             raise ValueError("n_requests axis must be positive")
         if self.limit is not None and self.limit <= 0:
             raise ValueError("limit must be positive (or omitted)")
+        # Device descriptions are checked up front — an unknown kind or
+        # a fault parameter on a kind that does not support it must be
+        # rejected when the spec is loaded, not mid-sweep.
+        from .devices import validate_device_description
+
+        for device in (*self.devices, self.source_device):
+            validate_device_description(device.kind, device.params)
 
     def with_limit(self, limit: int | None) -> "CampaignSpec":
         """Copy with a different point cap (CLI smoke-run override)."""

@@ -9,10 +9,20 @@ from .array import FlashArray
 from .channel import PCIE3_X4, SATA_300, SATA_600, InterfaceChannel
 from .device import Completion, ConstantLatencyDevice, StorageDevice
 from .events import Event, EventQueue, Simulation
+from .faults import (
+    DegradedRaid1,
+    LatencyInflation,
+    MidTraceSwitch,
+    ServiceFaultWrapper,
+    TransientStalls,
+)
 from .flash import FlashGeometry, FlashReplayPlan, FlashSSD
 from .hdd import HDDGeometry, HDDModel
 from .kernels import COLUMNAR_MIN_PAGES, columnar_enabled, set_force_scalar
+from .mq import MultiQueueDevice
 from .raid import Raid0, Raid1
+from .smr import SMRModel
+from .tiered import TieredHybrid
 
 __all__ = [
     "FlashArray",
@@ -27,6 +37,14 @@ __all__ = [
     "Completion",
     "ConstantLatencyDevice",
     "StorageDevice",
+    "DegradedRaid1",
+    "LatencyInflation",
+    "MidTraceSwitch",
+    "MultiQueueDevice",
+    "ServiceFaultWrapper",
+    "SMRModel",
+    "TieredHybrid",
+    "TransientStalls",
     "Event",
     "EventQueue",
     "Simulation",

@@ -1,0 +1,143 @@
+"""Shingled magnetic recording (SMR) disk: append-friendly zoned writes.
+
+Host-managed SMR drives divide the LBA space into zones that must be
+written sequentially at a per-zone append pointer; rewriting inside a
+shingled zone forces a read-modify-write of the overlapping shingles.
+:class:`SMRModel` layers that cost model over the conventional
+:class:`~repro.storage.hdd.HDDModel` mechanics: a write that lands
+exactly on its zone's append pointer is a plain media write, any other
+write pays ``append_penalty_us`` on top.  Reads are unaffected.
+
+The penalty is applied as a *separate* float add after the fused
+``mechanical + transfer`` service sum, in both the scalar and batch
+paths, so the two engines round identically and the device stays in
+the bit-identity matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.record import OpType
+from .channel import SATA_300, InterfaceChannel
+from .hdd import HDDGeometry, HDDModel
+
+__all__ = ["SMRModel"]
+
+
+class SMRModel(HDDModel):
+    """HDD with sequential-write zones and a non-append rewrite penalty.
+
+    Parameters
+    ----------
+    geometry:
+        Mechanical description, as for :class:`~repro.storage.hdd.HDDModel`.
+    channel:
+        Host link; defaults to SATA II like the conventional disk.
+    seed:
+        Rotational-phase RNG seed.
+    zone_mb:
+        Zone size; zone ``z`` spans sectors ``[z * zone_sectors,
+        (z + 1) * zone_sectors)`` and its append pointer starts at the
+        zone base.
+    append_penalty_us:
+        Extra service time for a write that does not land on its
+        zone's append pointer (the read-modify-write of the shingle
+        overlap).  The write-back cache is always disabled: a volatile
+        cache would reorder the zone-state consumption the penalty
+        model depends on.
+    """
+
+    def __init__(
+        self,
+        geometry: HDDGeometry | None = None,
+        channel: InterfaceChannel = SATA_300,
+        seed: int = 42,
+        zone_mb: int = 256,
+        append_penalty_us: float = 15000.0,
+    ) -> None:
+        if zone_mb <= 0:
+            raise ValueError("zone size must be positive")
+        if append_penalty_us < 0:
+            raise ValueError("append penalty must be non-negative")
+        super().__init__(geometry=geometry, channel=channel, write_back_cache_kb=0, seed=seed)
+        self.zone_mb = int(zone_mb)
+        self.zone_sectors = self.zone_mb * 2048  # 1 MB = 2048 x 512 B sectors
+        self.append_penalty_us = float(append_penalty_us)
+        self._zone_append: dict[int, int] = {}
+
+    @property
+    def name(self) -> str:
+        """Human-readable model name."""
+        return f"smr({self.geometry.rpm:.0f}rpm/{self.zone_mb}MB zones)"
+
+    def fingerprint(self) -> str:
+        return (
+            f"{super().fingerprint()}|zone_mb={self.zone_mb}"
+            f"|penalty={self.append_penalty_us!r}"
+        )
+
+    def reset(self) -> None:
+        """Cold state: every zone's append pointer back at its base."""
+        super().reset()
+        self._zone_append = {}
+
+    def _write_penalty(self, lba: int, size: int) -> float:
+        """Penalty for this write; advances the zone append pointer.
+
+        Consumes order-dependent zone state, so the scalar and batch
+        paths must call it for writes in the same stream order.
+        """
+        zone = lba // self.zone_sectors
+        pointer = self._zone_append.get(zone, zone * self.zone_sectors)
+        self._zone_append[zone] = lba + size
+        return 0.0 if lba == pointer else self.append_penalty_us
+
+    def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
+        sequential = lba == self._last_end_lba
+        start = max(t_ready, self._busy_until)
+        transfer = size * self.geometry.transfer_us_per_sector
+        # Same fused (mechanical + transfer) add as the conventional
+        # disk; the zone penalty is a second, separate add so the batch
+        # path can reproduce it elementwise.
+        svc = self._mechanical_us(lba, sequential) + transfer
+        if op is OpType.WRITE:
+            penalty = self._write_penalty(lba, size)
+            if penalty:
+                svc = svc + penalty
+        finish = start + svc
+        self._busy_until = finish
+        self._head_cylinder = self.geometry.cylinder_of(lba + size - 1)
+        self._last_end_lba = lba + size
+        return start, finish
+
+    def _service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised mechanics plus a scalar zone-state walk.
+
+        The seek/rotation/transfer columns come from the conventional
+        disk's kernel (bit-identical to its scalar path); the append
+        pointers are then consumed write-by-write in stream order —
+        zone state is a dict walk no vector form pays for — adding the
+        penalty with the same ``svc + penalty`` float add the scalar
+        path performs.
+        """
+        svc = super()._service_batch(ops, lbas, sizes)
+        ops_l = np.asarray(ops).tolist()
+        lbas_l = np.asarray(lbas, dtype=np.int64).tolist()
+        sizes_l = np.asarray(sizes, dtype=np.int64).tolist()
+        write = int(OpType.WRITE)
+        for i in range(len(ops_l)):
+            if ops_l[i] == write:
+                penalty = self._write_penalty(lbas_l[i], sizes_l[i])
+                if penalty:
+                    svc[i] = svc[i] + penalty
+        return svc
+
+    def _expected_service(self, op: OpType, size: int, sequential: bool) -> float:
+        """Conventional-disk mean, plus the penalty for random writes."""
+        base = HDDModel._expected_service(self, op, size, sequential)
+        if op is OpType.WRITE and not sequential:
+            return base + self.append_penalty_us
+        return base

@@ -1,0 +1,114 @@
+"""Tiered hybrid device: flash front tier with HDD spill.
+
+Hybrid arrays place hot, low-address data on flash and spill the rest
+to disk.  :class:`TieredHybrid` models the steady state of such a
+layout with a *static* address-based placement: requests whose start
+LBA falls below ``flash_sectors`` are serviced by the flash tier,
+everything else by the HDD tier.  Placement by start address (a
+request straddling the boundary goes entirely to the tier of its first
+sector) keeps routing a pure function of the request — no migration
+state — which is what lets the device participate in the batch and
+queue-depth identity matrix like any other zoo member.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.record import OpType
+from .channel import InterfaceChannel
+from .device import StorageDevice
+
+__all__ = ["TieredHybrid"]
+
+
+class TieredHybrid(StorageDevice):
+    """Flash tier below ``flash_sectors``, HDD tier at and above it.
+
+    Both tiers see the original (global) LBAs: the flash tier's
+    addresses are naturally dense at the bottom of the space, and the
+    disk tier's offset only shifts which cylinders it uses.
+    """
+
+    fifo_single_server = False
+
+    def __init__(
+        self,
+        flash_tier: StorageDevice,
+        hdd_tier: StorageDevice,
+        flash_sectors: int,
+        channel: InterfaceChannel | None = None,
+    ) -> None:
+        if flash_sectors <= 0:
+            raise ValueError("flash tier capacity must be positive")
+        super().__init__(channel if channel is not None else flash_tier.channel)
+        self.flash_tier = flash_tier
+        self.hdd_tier = hdd_tier
+        self.flash_sectors = int(flash_sectors)
+
+    @property
+    def name(self) -> str:
+        """Human-readable model name."""
+        return (
+            f"tiered({self.flash_tier.name}<{self.flash_sectors}sec|{self.hdd_tier.name})"
+        )
+
+    def fingerprint(self) -> str:
+        return (
+            f"{super().fingerprint()}|split={self.flash_sectors}"
+            f"|flash={self.flash_tier.fingerprint()}|hdd={self.hdd_tier.fingerprint()}"
+        )
+
+    def reset(self) -> None:
+        """Cold state: both tiers reset."""
+        super().reset()
+        self.flash_tier.reset()
+        self.hdd_tier.reset()
+
+    def _service(self, op: OpType, lba: int, size: int, t_ready: float) -> tuple[float, float]:
+        tier = self.flash_tier if lba < self.flash_sectors else self.hdd_tier
+        return tier._service(op, lba, size, t_ready)
+
+    def supports_batch(self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray) -> bool:
+        """Gap-invariant when each tier supports its routed substream."""
+        mask = np.asarray(lbas, dtype=np.int64) < self.flash_sectors
+        ops_arr = np.asarray(ops)
+        lbas_arr = np.asarray(lbas, dtype=np.int64)
+        sizes_arr = np.asarray(sizes, dtype=np.int64)
+        if mask.any() and not self.flash_tier.supports_batch(
+            ops_arr[mask], lbas_arr[mask], sizes_arr[mask]
+        ):
+            return False
+        spill = ~mask
+        if spill.any() and not self.hdd_tier.supports_batch(
+            ops_arr[spill], lbas_arr[spill], sizes_arr[spill]
+        ):
+            return False
+        return True
+
+    def _service_batch(
+        self, ops: np.ndarray, lbas: np.ndarray, sizes: np.ndarray
+    ) -> np.ndarray:
+        # Each tier prices its substream in stream order, which is the
+        # order the scalar path would route requests to it — so
+        # order-dependent member state (HDD head position, RNG draws)
+        # is consumed identically.
+        ops_arr = np.asarray(ops)
+        lbas_arr = np.asarray(lbas, dtype=np.int64)
+        sizes_arr = np.asarray(sizes, dtype=np.int64)
+        mask = lbas_arr < self.flash_sectors
+        out = np.empty(len(lbas_arr), dtype=np.float64)
+        if mask.any():
+            out[mask] = self.flash_tier.service_batch(
+                ops_arr[mask], lbas_arr[mask], sizes_arr[mask]
+            )
+        spill = ~mask
+        if spill.any():
+            out[spill] = self.hdd_tier.service_batch(
+                ops_arr[spill], lbas_arr[spill], sizes_arr[spill]
+            )
+        return out
+
+    def _expected_service(self, op: OpType, size: int, sequential: bool) -> float:
+        """Front (flash) tier's analytic mean — the design steady state."""
+        return self.flash_tier.service_time_us(op, size, sequential)

@@ -51,6 +51,32 @@ def test_raid_width_sweep_runs_end_to_end(tmp_path: Path):
     assert all(s > 0 for s in speedups)
 
 
+def test_degraded_flash_sweep_smoke(tmp_path: Path):
+    spec = load_spec(EXAMPLES_DIR / "degraded_flash_sweep.yaml").with_limit(2)
+    result = CampaignEngine(spec, out_dir=tmp_path / "degflash").run()
+    assert result.n_computed == 2
+    # The full grid pairs every fault shape with the healthy baseline.
+    full = expand(load_spec(EXAMPLES_DIR / "degraded_flash_sweep.yaml"))
+    assert {p.device.name for p in full.points} == {
+        "flash-healthy", "flash-offline", "flash-throttled", "flash-slow",
+    }
+
+
+def test_degraded_raid_ab_report(tmp_path: Path):
+    """The A/B example emits confidence intervals and a verdict."""
+    spec = load_spec(EXAMPLES_DIR / "degraded_raid_ab.yaml")
+    assert spec.options["ab"] == {"baseline": "healthy", "treatment": "degraded"}
+    result = CampaignEngine(spec, out_dir=tmp_path / "degraid").run()
+    assert result.n_computed == len(expand(spec)) == 6
+    report = (tmp_path / "degraid" / "report.md").read_text(encoding="utf-8")
+    assert "A/B: degraded* vs healthy*" in report
+    assert "ci95" in report and "verdict" in report
+    assert "significant" in report
+    # Three replicates per arm: the speedup row carries a real CI.
+    speedups = result.table.column("speedup")
+    assert len(speedups) == 6 and all(s > 0 for s in speedups)
+
+
 def test_method_grid_exclude_filter_applies():
     spec = load_spec(EXAMPLES_DIR / "method_grid.yaml")
     plan = expand(spec)

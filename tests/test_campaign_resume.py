@@ -106,6 +106,51 @@ def test_no_resume_flag_recomputes(tmp_path: Path, counted_run_point):
     assert result.n_resumed == 0
 
 
+def test_degraded_sweep_interrupt_then_resume(tmp_path: Path, counted_run_point):
+    """Fault-parameterised device specs resume like any other point.
+
+    The fault knobs live inside the device description, so they are
+    part of the checkpoint run key — a killed degraded sweep must
+    restart with zero recomputation and an identical table.
+    """
+    spec = CampaignSpec(
+        name="degraded-resume",
+        action="reconstruct",
+        workloads=("MSNFS",),
+        devices=(
+            DeviceSpec("healthy", "flash_array", {"n_ssds": 2, "stripe_kb": 16}),
+            DeviceSpec(
+                "offline",
+                "flash_array",
+                {"n_ssds": 2, "stripe_kb": 16, "offline_at": 40, "offline_channels": 4},
+            ),
+            DeviceSpec(
+                "rebuilding",
+                "raid1",
+                {"failed_member": 0, "rebuild_every": 16, "rebuild_chunk": 64},
+            ),
+        ),
+        methods=("revision",),
+        n_requests=(150,),
+    )
+    n_points = len(expand(spec))
+    assert n_points == 3
+
+    clean = CampaignEngine(spec, out_dir=tmp_path / "clean").run()
+
+    out = tmp_path / "killed"
+    killer = counted_run_point(kill_after=1)
+    with pytest.raises(KeyboardInterrupt):
+        CampaignEngine(spec, out_dir=out).run()
+    assert killer.calls == 1
+
+    counter = counted_run_point()
+    resumed = CampaignEngine(spec, out_dir=out).run()
+    assert counter.calls == n_points - 1
+    assert resumed.n_resumed == 1 and resumed.n_computed == n_points - 1
+    assert resumed.table == clean.table
+
+
 def test_grown_grid_resumes_shared_points(tmp_path: Path, counted_run_point):
     """Adding an axis value only computes the new points."""
     small = _spec()

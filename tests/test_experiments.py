@@ -96,6 +96,70 @@ class TestReporting:
         assert "p50" in text
 
 
+class TestABStatistics:
+    """Multi-seed summary statistics and the Welch's-t verdict."""
+
+    def test_t_critical_table_values(self):
+        from repro.experiments.reporting import t_critical_95
+
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(10) == pytest.approx(2.228)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        # Beyond the table: the normal limit; fractional df floor.
+        assert t_critical_95(200) == pytest.approx(1.960)
+        assert t_critical_95(2.9) == t_critical_95(2)
+        assert t_critical_95(0) == float("inf")
+
+    def test_seed_summary(self):
+        from repro.experiments.reporting import seed_summary, t_critical_95
+
+        summary = seed_summary([10.0, 12.0, 14.0])
+        assert summary["n"] == 3
+        assert summary["mean"] == pytest.approx(12.0)
+        assert summary["std"] == pytest.approx(2.0)
+        assert summary["ci95"] == pytest.approx(
+            t_critical_95(2) * 2.0 / np.sqrt(3)
+        )
+
+    def test_seed_summary_single_replicate(self):
+        from repro.experiments.reporting import seed_summary
+
+        summary = seed_summary([5.0])
+        assert summary["n"] == 1 and summary["mean"] == 5.0
+        assert np.isnan(summary["std"]) and np.isnan(summary["ci95"])
+
+    def test_ab_verdict_significant_shift(self):
+        from repro.experiments.reporting import ab_verdict
+
+        verdict = ab_verdict([10.0, 10.1, 9.9], [14.0, 14.2, 13.8])
+        assert verdict["verdict"] == "significant"
+        assert verdict["significant"] is True
+        assert verdict["delta"] == pytest.approx(4.0)
+        assert verdict["t"] > 0 and verdict["df"] > 0
+
+    def test_ab_verdict_overlapping_arms(self):
+        from repro.experiments.reporting import ab_verdict
+
+        verdict = ab_verdict([10.0, 14.0, 12.0], [11.0, 13.0, 12.5])
+        assert verdict["verdict"] == "not significant"
+        assert verdict["significant"] is False
+
+    def test_ab_verdict_insufficient_replicates(self):
+        from repro.experiments.reporting import ab_verdict
+
+        verdict = ab_verdict([10.0], [12.0])
+        assert verdict["significant"] is False
+        assert "insufficient replicates" in verdict["verdict"]
+
+    def test_ab_verdict_zero_variance(self):
+        from repro.experiments.reporting import ab_verdict
+
+        same = ab_verdict([5.0, 5.0], [5.0, 5.0])
+        assert same["significant"] is False and same["delta"] == 0.0
+        shifted = ab_verdict([5.0, 5.0], [9.0, 9.0])
+        assert shifted["significant"] is True and shifted["delta"] == 4.0
+
+
 class TestRunner:
     def test_run_all_subset(self):
         buffer = io.StringIO()
