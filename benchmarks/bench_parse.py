@@ -34,6 +34,9 @@ from repro.trace import BlockTrace, load_trace, load_trace_npz, save_trace_npz, 
 #: Timing repetitions; the best of N is reported (steady-state figure).
 _REPS = 3
 
+#: Unified benchmark document schema version (see ``bench_pipeline``).
+SCHEMA_VERSION = 2
+
 
 def synthetic_trace(n: int) -> BlockTrace:
     """Field magnitudes match the real collections: a ~2 TB volume
@@ -101,10 +104,20 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=150_000)
     parser.add_argument("--out", type=str, default=None, help="write JSON here")
+    parser.add_argument(
+        "--history", type=str, default=None,
+        help="append this run (speedups + commit + date) to a BENCH_history.jsonl",
+    )
     args = parser.parse_args(argv)
     n = args.requests
     trace = synthetic_trace(n)
-    results: dict[str, object] = {"n_requests": n, "dialects": {}, "store": {}}
+    results: dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "parse",
+        "n_requests": n,
+        "dialects": {},
+        "store": {},
+    }
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
         files = write_dialects(trace, root)
@@ -137,6 +150,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {args.out}")
+    if args.history:
+        from history import append_history
+
+        line = append_history(results, args.history)
+        print(f"history line appended to {args.history} (commit {line['commit']})")
     best_speedup = max(d["speedup"] for d in results["dialects"].values())  # type: ignore[union-attr]
     print(f"best bulk speedup: {best_speedup}x")
     return 0

@@ -9,8 +9,18 @@ table and a CI verdict:
 - **absolute pipeline stages** (``pipeline``) are normalised by the
   calibration workload's ratio between the two runs, so the comparison
   survives machine changes;
-- **parse benchmarks** (``BENCH_parse.json`` schema: ``dialects`` /
-  ``store``) compare dialect speedups, which are machine-independent.
+- **parse benchmarks** (``kind: "parse"``: ``dialects`` / ``store``)
+  compare dialect speedups, which are machine-independent.
+
+Both benchmark files share one versioned document schema (``kind``
+selects the comparison; version-1 files without the stamp are sniffed
+by shape), and stages present in only one document are reported but
+never fatal — the committed baseline lags the code by one
+regeneration, so stages appear and disappear legitimately.
+
+``--history`` renders the trend table of an append-only
+``BENCH_history.jsonl`` instead: one benchmark run per line (written
+by the drivers' ``--history`` flag), per-stage speedups over commits.
 
 Exit status is non-zero when any stage regresses by more than
 ``--tolerance`` (default 1.5x) — the CI ``perf`` job gate.
@@ -20,6 +30,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_pipeline.py --quick --out fresh.json
     python benchmarks/compare.py fresh.json BENCH_pipeline.json
     python benchmarks/compare.py fresh_parse.json BENCH_parse.json
+    python benchmarks/compare.py --history BENCH_history.jsonl
 """
 
 from __future__ import annotations
@@ -54,7 +65,7 @@ def trend_table_pipeline(fresh: dict, baseline: dict) -> list[str]:
     for name, base in baseline.get("stages", {}).items():
         now = fresh.get("stages", {}).get(name)
         if now is None:
-            lines.append(f"  {name:>28}: MISSING from fresh run")
+            lines.append(f"  {name:>28}: retired since the baseline (skipped)")
             continue
         ratio = now["speedup"] / base["speedup"] if base["speedup"] else float("inf")
         lines.append(
@@ -70,7 +81,7 @@ def trend_table_pipeline(fresh: dict, baseline: dict) -> list[str]:
     for name, base_s in baseline.get("pipeline", {}).items():
         now_s = fresh.get("pipeline", {}).get(name)
         if now_s is None:
-            lines.append(f"  {name:>28}: MISSING from fresh run")
+            lines.append(f"  {name:>28}: retired since the baseline (skipped)")
             continue
         ratio = (base_s * scale) / now_s if now_s else float("inf")
         lines.append(
@@ -96,8 +107,7 @@ def _parse_trends(
     for dialect, base in baseline.get("dialects", {}).items():
         now = fresh.get("dialects", {}).get(dialect)
         if now is None:
-            problems.append(f"dialect {dialect!r} missing from fresh run")
-            lines.append(f"  {dialect:>10}: MISSING from fresh run")
+            lines.append(f"  {dialect:>10}: retired since the baseline (skipped)")
             continue
         ratio = now["speedup"] / base["speedup"] if base["speedup"] else float("inf")
         lines.append(
@@ -112,20 +122,74 @@ def _parse_trends(
     return lines, problems
 
 
+def history_table(runs: list[dict], kind: str | None = None) -> list[str]:
+    """Per-stage speedup trajectory across an append-only history.
+
+    One section per ``kind`` present (optionally filtered), one line
+    per stage, oldest run first: ``stage: 2.74 -> 3.10 -> 4.05`` with
+    the commit/date range in the section header.  Stages that appear or
+    disappear along the way simply have shorter series.
+    """
+    lines: list[str] = []
+    kinds = [kind] if kind else sorted({run.get("kind", "pipeline") for run in runs})
+    for section in kinds:
+        selected = [run for run in runs if run.get("kind", "pipeline") == section]
+        if not selected:
+            lines.append(f"no {section!r} runs in history")
+            continue
+        first, last = selected[0], selected[-1]
+        lines.append(
+            f"{section} history: {len(selected)} run(s), "
+            f"{first.get('commit', '?')} ({first.get('date', '?')}) -> "
+            f"{last.get('commit', '?')} ({last.get('date', '?')})"
+        )
+        stages: list[str] = []
+        for run in selected:
+            for name in run["speedups"]:
+                if name not in stages:
+                    stages.append(name)
+        for name in stages:
+            series = [run["speedups"].get(name) for run in selected]
+            shown = " -> ".join("     -" if v is None else f"{v:6.2f}x" for v in series)
+            lines.append(f"  {name:>28}: {shown}")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: trend table to stdout, non-zero exit on regression."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="freshly measured benchmark JSON")
-    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("fresh", nargs="?", default=None, help="freshly measured benchmark JSON")
+    parser.add_argument("baseline", nargs="?", default=None, help="committed BENCH_*.json baseline")
     parser.add_argument(
         "--tolerance", type=float, default=1.5,
         help="allowed regression factor (default 1.5)",
     )
+    parser.add_argument(
+        "--history", type=str, default=None,
+        help="render the trend table of a BENCH_history.jsonl instead of diffing two files",
+    )
+    parser.add_argument(
+        "--kind", choices=("pipeline", "parse"), default=None,
+        help="with --history: restrict the trend table to one benchmark kind",
+    )
     args = parser.parse_args(argv)
+    if args.history:
+        from history import load_history
+
+        runs = load_history(args.history)
+        if not runs:
+            print(f"no usable runs in {args.history}", file=sys.stderr)
+            return 1
+        for line in history_table(runs, kind=args.kind):
+            print(line)
+        return 0
+    if not args.fresh or not args.baseline:
+        parser.error("fresh and baseline JSON files are required (or use --history)")
     fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
 
-    if "dialects" in baseline:
+    kind = baseline.get("kind", "parse" if "dialects" in baseline else "pipeline")
+    if kind == "parse":
         lines, problems = trend_table_parse(fresh, baseline, args.tolerance)
     else:
         lines = trend_table_pipeline(fresh, baseline)

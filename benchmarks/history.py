@@ -1,0 +1,102 @@
+"""Append-only benchmark history (``BENCH_history.jsonl``).
+
+The committed ``BENCH_*.json`` files record one point in time and are
+overwritten on every regeneration; this module keeps the *trajectory*.
+Each line of ``BENCH_history.jsonl`` is one benchmark run reduced to
+its machine-independent core — the per-stage speedup ratios — stamped
+with the git commit and date it was measured at:
+
+``{"schema_version": 2, "kind": "pipeline", "commit": "66a81df",
+"date": "2026-08-08", "n_requests": 4000, "calibration_s": 0.41,
+"speedups": {"qdepth_replay": 11.2, ...}}``
+
+Both benchmark drivers append here via ``--history`` and
+``compare.py --history`` renders the per-stage trend table.  Lines are
+self-contained JSON, so a torn or hand-mangled line is skipped, not
+fatal, and the file merges trivially (append-only, one run per line).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import subprocess
+from pathlib import Path
+
+__all__ = ["append_history", "load_history", "summarize"]
+
+
+def _git_commit(repo_dir: Path) -> str:
+    """Short commit hash of ``repo_dir``'s checkout, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def summarize(results: dict) -> dict:
+    """Reduce one benchmark document to its history line payload.
+
+    Keeps exactly the machine-independent ratios (stage/dialect
+    speedups) plus the calibration time that lets absolute comparisons
+    be reconstructed later; drops the raw per-stage seconds, which are
+    machine-bound noise over a history that spans boxes.
+    """
+    kind = results.get("kind", "parse" if "dialects" in results else "pipeline")
+    if kind == "parse":
+        speedups = {
+            name: entry["speedup"] for name, entry in results.get("dialects", {}).items()
+        }
+    else:
+        speedups = {
+            name: entry["speedup"] for name, entry in results.get("stages", {}).items()
+        }
+    line = {
+        "schema_version": results.get("schema_version", 1),
+        "kind": kind,
+        "n_requests": results.get("n_requests"),
+        "speedups": speedups,
+    }
+    if "calibration_s" in results:
+        line["calibration_s"] = results["calibration_s"]
+    return line
+
+
+def append_history(results: dict, path: str | Path) -> dict:
+    """Append one benchmark run to the history file; returns the line.
+
+    The commit stamp comes from the repository containing ``path`` (the
+    history file lives at the repo root), the date is the measurement
+    day in UTC.
+    """
+    path = Path(path)
+    line = summarize(results)
+    line["commit"] = _git_commit(path.resolve().parent)
+    line["date"] = datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%d")
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return line
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """Every parseable run line of a history file, in append order."""
+    runs: list[dict] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return runs
+    for raw in text.splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError:
+            continue  # torn or hand-mangled line; history is best-effort
+        if isinstance(data, dict) and isinstance(data.get("speedups"), dict):
+            runs.append(data)
+    return runs

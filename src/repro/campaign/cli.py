@@ -29,7 +29,7 @@ import sys
 from pathlib import Path
 
 from ..perf import PerfRecorder
-from .engine import CHECKPOINT_FORMATS, CampaignEngine, _scan_checkpoints
+from .engine import CHECKPOINT_FORMATS, SCHEDULERS, CampaignEngine, _scan_checkpoints
 from .plan import expand, run_key
 from .results import ResultsTable
 from .spec import CampaignSpec, load_spec
@@ -56,6 +56,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_store_dir=args.trace_store_dir,
         resume=not args.no_resume,
         checkpoint_format=args.checkpoint_format,
+        scheduler=args.scheduler,
         perf=perf,
     )
     result = engine.run(log=None if args.quiet else sys.stderr)
@@ -151,6 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--checkpoint-format", choices=CHECKPOINT_FORMATS, default="segments",
         help="per-shard append-only segments (default) or one JSON file per point",
+    )
+    run.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="stealing",
+        help="dynamic chunk queue pulled by idle workers (default) or static round-robin shards",
     )
     run.add_argument(
         "--perf", action="store_true",

@@ -62,6 +62,7 @@ from .spec import CampaignSpec
 
 __all__ = [
     "CHECKPOINT_FORMATS",
+    "SCHEDULERS",
     "CampaignEngine",
     "CampaignResult",
     "resolve_method",
@@ -265,11 +266,29 @@ def _action_reconstruct(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
     }
 
 
+def _action_synthetic(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
+    """Deterministic spin action for scheduler benchmarks and tests.
+
+    Burns CPU proportional to ``n_requests`` (``iters_per_request``
+    option, default 50) and returns a value that depends only on the
+    iteration count — no traces, no devices, no wall clock — so
+    scheduling experiments can build grids with *known, skewed* point
+    costs and still assert bitwise-equal results across schedulers,
+    job counts, and resume boundaries.
+    """
+    iters = int(spec.options.get("iters_per_request", 50)) * point.n_requests
+    acc = 0.0
+    for i in range(iters):
+        acc += (i % 7) * 1e-3
+    return {"category": "SYNTH", "iters": iters, "value": acc}
+
+
 _ACTIONS: dict[str, Callable[[CampaignSpec, RunPoint], dict[str, Any]]] = {
     "reconstruct": _action_reconstruct,
     "idle": _action_idle,
     "target_diff": _action_target_diff,
     "method_gap": _action_method_gap,
+    "synthetic": _action_synthetic,
 }
 
 
@@ -302,6 +321,9 @@ def run_point(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
 
 #: Valid values of ``CampaignEngine(checkpoint_format=...)``.
 CHECKPOINT_FORMATS = ("segments", "json")
+
+#: Valid values of ``CampaignEngine(scheduler=...)``.
+SCHEDULERS = ("stealing", "static")
 
 _SEGMENT_PREFIX = "segment-"
 _SEGMENT_SUFFIX = ".jsonl"
@@ -487,6 +509,59 @@ def _run_shard(
     return results
 
 
+#: Worker-process caches for the stealing scheduler, keyed by the
+#: campaign context.  A worker runs many chunks of one campaign, so the
+#: expanded plan is computed once per worker (not once per chunk) and
+#: all of a worker's chunks append to *one* segment file — the same
+#: one-segment-per-worker layout the static shard path produces.
+#: Bounded by construction: a worker process serves one engine run at a
+#: time, and both caches are keyed by that run's context.
+_CHUNK_PLANS: dict[str, tuple[CampaignSpec, CampaignPlan]] = {}
+_CHUNK_SEGMENTS: dict[tuple[str, str], _SegmentWriter] = {}
+
+
+def _run_chunk(
+    context: tuple[dict[str, Any], str | None, str],
+    items: list[tuple[int, str]],
+) -> list[tuple[str, dict[str, Any]]]:
+    """Worker entry point for the stealing scheduler: run one chunk.
+
+    Same contract as :func:`_run_shard` — (point index, run key) pairs
+    in, checkpointed ``(key, row)`` pairs out — but built to be called
+    many times per worker: the spec expansion and the segment writer
+    live in module-global per-worker caches, so a hundred chunks cost
+    one plan expansion and open one segment file.  Cached segments are
+    never explicitly closed; every append is flushed, so the handle is
+    crash-equivalent to the shard path's and the checkpoint is complete
+    the moment the line hits the file.
+    """
+    spec_dict, out_dir_text, checkpoint_format = context
+    spec_key = json.dumps(spec_dict, sort_keys=True)
+    cached = _CHUNK_PLANS.get(spec_key)
+    if cached is None:
+        spec = CampaignSpec.from_dict(spec_dict)
+        cached = (spec, expand(spec))
+        _CHUNK_PLANS.clear()
+        _CHUNK_PLANS[spec_key] = cached
+    spec, plan = cached
+    out_dir = Path(out_dir_text) if out_dir_text else None
+    segment = None
+    if out_dir is not None and checkpoint_format == "segments":
+        seg_key = (str(out_dir), checkpoint_format)
+        segment = _CHUNK_SEGMENTS.get(seg_key)
+        if segment is None:
+            segment = _CHUNK_SEGMENTS.setdefault(seg_key, _SegmentWriter(out_dir))
+    results: list[tuple[str, dict[str, Any]]] = []
+    for index, key in items:
+        row = run_point(spec, plan.points[index])
+        if segment is not None:
+            segment.append(key, row)
+        elif out_dir is not None:
+            _write_checkpoint(out_dir, key, row)
+        results.append((key, row))
+    return results
+
+
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
@@ -531,6 +606,16 @@ class CampaignEngine:
         overhead on large grids; ``"json"`` writes the original one
         atomic ``<key>.json`` per point.  Resume reads both, so the
         formats mix freely across runs of one campaign.
+    scheduler:
+        ``"stealing"`` (default) queues the pending points as small
+        contiguous chunks that idle workers pull dynamically — a slow
+        point delays only its own chunk, so skewed grids finish at the
+        speed of the work, not of the unluckiest shard.  ``"static"``
+        is the original round-robin pre-assignment of one shard per
+        worker.  Both produce identical rows and identical per-point
+        checkpoints (resume is scheduler-agnostic: run keys do not
+        know how points were dispatched); with ``jobs=1`` both run
+        inline as a single shard.
     perf:
         Optional :class:`~repro.perf.PerfRecorder`; when given, the
         engine times its ``plan``/``resume_scan``/``compute``/
@@ -546,6 +631,7 @@ class CampaignEngine:
         trace_store_dir: str | Path | None = None,
         resume: bool = True,
         checkpoint_format: str = "segments",
+        scheduler: str = "stealing",
         perf: "PerfRecorder | None" = None,
     ) -> None:
         if jobs < 1:
@@ -554,6 +640,10 @@ class CampaignEngine:
             raise ValueError(
                 f"unknown checkpoint format {checkpoint_format!r}; use one of {CHECKPOINT_FORMATS}"
             )
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}"
+            )
         self.spec = spec
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.jobs = jobs
@@ -561,6 +651,7 @@ class CampaignEngine:
         self.trace_store_dir = trace_store_dir
         self.resume = resume
         self.checkpoint_format = checkpoint_format
+        self.scheduler = scheduler
         self.perf = perf if perf is not None else PerfRecorder(enabled=False)
 
     def run(self, log: TextIO | None = None) -> CampaignResult:
@@ -585,19 +676,31 @@ class CampaignEngine:
             log.write(
                 f"[campaign] {self.spec.name}: {len(plan)} point(s), "
                 f"{n_resumed} checkpointed, {len(pending)} to compute "
-                f"(jobs={self.jobs})\n"
+                f"(jobs={self.jobs}, scheduler={self.scheduler})\n"
             )
         if pending:
             if self.out_dir is not None:
                 self.out_dir.mkdir(parents=True, exist_ok=True)
                 self._write_spec_once()
-            n_shards = min(len(pending), self.jobs) if self.jobs > 1 else 1
-            shards = plan.shards(n_shards, indices=pending)
             out_dir_text = str(self.out_dir) if self.out_dir is not None else None
             # The spec dict ships once per worker (map's context
             # initializer), not once per shard task.
             context = (self.spec.to_dict(), out_dir_text, self.checkpoint_format)
-            tasks = [[(i, keys[i]) for i in shard] for shard in shards]
+            if self.scheduler == "stealing" and self.jobs > 1:
+                # Many small contiguous chunks on the pool's task
+                # queue; idle workers pull the next chunk as they
+                # finish.  ~4 chunks per worker bounds the tail (the
+                # last chunk to start is at most 1/(4*jobs) of the
+                # grid) while the cap of 32 keeps the per-chunk
+                # dispatch overhead invisible on huge grids.
+                chunk = max(1, min(32, -(-len(pending) // (self.jobs * 4))))
+                parts = plan.chunks(chunk, indices=pending)
+                worker = _run_chunk
+            else:
+                n_shards = min(len(pending), self.jobs) if self.jobs > 1 else 1
+                parts = plan.shards(n_shards, indices=pending)
+                worker = _run_shard
+            tasks = [[(i, keys[i]) for i in part] for part in parts]
             runner = ParallelRunner(
                 jobs=self.jobs,
                 use_cache=False,
@@ -606,8 +709,8 @@ class CampaignEngine:
             )
             start = time.perf_counter()
             with self.perf.stage("compute"):
-                for shard_results in runner.map(_run_shard, tasks, context=context):
-                    completed.update(shard_results)
+                for part_results in runner.map(worker, tasks, context=context):
+                    completed.update(part_results)
             if log is not None:
                 log.write(
                     f"[campaign] computed {len(pending)} point(s) in "

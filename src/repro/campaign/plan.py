@@ -131,6 +131,25 @@ class CampaignPlan:
         shards = [pool[i::n_shards] for i in range(n_shards)]
         return [s for s in shards if s]
 
+    def chunks(self, chunk_size: int, indices: list[int] | None = None) -> list[list[int]]:
+        """Split point indices into contiguous chunks of ``chunk_size``.
+
+        The work-stealing scheduler's unit of dispatch: unlike
+        :meth:`shards`, which pre-assigns every point to a worker,
+        chunks are queued and pulled by whichever worker frees up
+        first, so one pathologically slow point delays only its own
+        chunk.  Contiguous (rather than strided) slicing keeps each
+        chunk's points adjacent in plan order, which preserves the
+        per-worker memo locality of actions like ``method_gap`` whose
+        fastest-varying axis benefits from neighbouring points landing
+        on the same process.  Empty chunks cannot occur; the final
+        chunk may be short.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk size must be at least 1")
+        pool = list(range(len(self.points))) if indices is None else list(indices)
+        return [pool[i : i + chunk_size] for i in range(0, len(pool), chunk_size)]
+
 
 def expand(spec: CampaignSpec) -> CampaignPlan:
     """Cross-product expansion with filters: the campaign's plan."""

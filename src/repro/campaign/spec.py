@@ -25,7 +25,7 @@ from typing import Any
 __all__ = ["ACTIONS", "CampaignSpec", "DeviceSpec", "load_spec", "loads_spec"]
 
 #: The actions the engine knows how to run at a grid point.
-ACTIONS: tuple[str, ...] = ("reconstruct", "idle", "target_diff", "method_gap")
+ACTIONS: tuple[str, ...] = ("reconstruct", "idle", "target_diff", "method_gap", "synthetic")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,202 @@
+"""Optional compiled replay kernels behind the ``repro[fast]`` extra.
+
+The queue-depth replay engines are bit-identity oracles first and fast
+engines second: every stamp is an IEEE-754 double produced by a fixed
+operation sequence, and the pure-Python implementations in this module
+*are* that sequence.  When `numba <https://numba.pydata.org>`_ is
+installed (``pip install repro[fast]``), the same loops are compiled
+with ``@njit`` — **without** ``fastmath``, so the compiled code
+performs the identical additions and comparisons in the identical
+order and the stamps stay bit-for-bit equal to the Python tier.  The
+CI job with numba installed asserts exactly that
+(``tests/test_fastpath_identity.py``); the Python tier remains the
+default and the identity gate.
+
+Two serial chains are eligible for compilation (everything else in the
+epoch engine is either already vectorised or walks Python object
+graphs — memo entries, busy lists — that a compiled interpreter cannot
+touch without changing the state layout):
+
+- :func:`ack_chain` — the optimistic submit/ack clock chain the epoch
+  engine runs per epoch (``ack = clock + t_cdel``; ``clock = ack +
+  idle``);
+- :func:`fifo_chain` — the whole FIFO window recurrence used for
+  single-server devices and ``queue_depth == 1``.
+
+Selection: compiled kernels are used automatically when importable
+unless ``REPRO_NO_NUMBA`` is set (or :func:`set_use_numba` disables
+them); both tiers stay importable so the identity suite can compare
+them directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "numba_enabled",
+    "set_use_numba",
+    "ack_chain",
+    "ack_chain_np",
+    "ack_chain_py",
+    "fifo_chain",
+    "fifo_chain_py",
+]
+
+try:  # pragma: no cover - exercised only on the numba CI leg
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # the default environment: pure-Python tier
+    HAVE_NUMBA = False
+    njit = None
+
+_USE_NUMBA = HAVE_NUMBA and os.environ.get("REPRO_NO_NUMBA", "") in ("", "0")
+
+
+def numba_enabled() -> bool:
+    """Whether the compiled kernels are active (installed and not disabled)."""
+    return _USE_NUMBA
+
+
+def set_use_numba(enabled: bool) -> None:
+    """Test hook: toggle the compiled tier (no-op when numba is absent)."""
+    global _USE_NUMBA
+    _USE_NUMBA = bool(enabled) and HAVE_NUMBA
+
+
+def ack_chain_py(t_cdel, idle, clock0, i0, i1, n, acks_out) -> float:
+    """Serial submit/ack clock chain over requests ``[i0, i1)``.
+
+    Fills ``acks_out[i0:i1]`` with ``ack_i = clock_i + t_cdel[i]`` where
+    ``clock_{i+1} = ack_i + idle[i]`` (no window bumps — the epoch
+    engine validates that assumption afterwards) and returns the clock
+    after request ``i1 - 1``.  Python floats, two additions per
+    request, exactly the scalar engine's operand order: ``np.cumsum``
+    would reassociate the additions and change stamps at rounding
+    level, so the chain stays serial.
+    """
+    tc = t_cdel[i0:i1].tolist()
+    last = min(i1, n - 1)
+    id_l = idle[i0:last].tolist()
+    clock = clock0
+    out = []
+    append = out.append
+    for j, dt in enumerate(tc):
+        ack = clock + dt
+        append(ack)
+        if j < len(id_l):
+            clock = ack + id_l[j]
+    acks_out[i0:i1] = out
+    return clock
+
+
+def ack_chain_np(t_cdel, idle, clock0, i0, i1, n, acks_out) -> float:
+    """:func:`ack_chain_py` as one strict-serial ufunc accumulation.
+
+    ``np.add.accumulate`` is a sequential left fold (``r[i] = r[i-1] +
+    a[i]``, no pairwise reassociation — that hazard belongs to
+    reductions like ``np.sum``), so interleaving the channel-delay and
+    idle addends into one array and accumulating performs *exactly* the
+    Python tier's additions in the same order on the same operands:
+    ``acc[2j] = ack`` and ``acc[2j+1] = clock`` stay bit-identical.
+    """
+    k = i1 - i0
+    if k == 0:
+        return clock0
+    m = min(i1, n - 1) - i0
+    z = np.empty(k + m, dtype=np.float64)
+    z[0::2] = t_cdel[i0:i1]
+    z[1::2] = idle[i0 : i0 + m]
+    z[0] = clock0 + z[0]
+    acc = np.add.accumulate(z)
+    acks_out[i0:i1] = acc[0::2]
+    if m == 0:
+        return clock0
+    return float(acc[2 * m - 1])
+
+
+def fifo_chain_py(t_cdel, svc, idle, queue_depth, submits, acks, starts, finishes) -> None:
+    """FIFO window recurrence over precomputed service columns.
+
+    The single-server queue-depth replay chain (see
+    ``repro.replay.qdepth._qdepth_fifo_fast``): finishes are
+    non-decreasing, so the oldest outstanding completion is
+    ``finishes[i - qd]`` and the whole replay is one scalar chain.
+    Fills the four output columns in place.
+    """
+    n = len(svc)
+    t_cdel_l = t_cdel.tolist()
+    svc_l = svc.tolist()
+    idle_l = idle.tolist()
+    finishes_l: list[float] = []
+    append_finish = finishes_l.append
+    clock = 0.0
+    prev_finish = 0.0
+    qd = queue_depth
+    for i in range(n):
+        if i >= qd and finishes_l[i - qd] > clock:
+            clock = finishes_l[i - qd]
+        ack = clock + t_cdel_l[i]
+        start = ack if ack >= prev_finish else prev_finish
+        finish = start + svc_l[i]
+        submits[i] = clock
+        acks[i] = ack
+        starts[i] = start
+        finishes[i] = finish
+        append_finish(finish)
+        prev_finish = finish
+        if i < n - 1:
+            clock = ack + idle_l[i]
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only on the numba CI leg
+
+    @njit(cache=False)
+    def _ack_chain_impl(t_cdel, idle, clock0, i0, i1, n, acks_out):
+        clock = clock0
+        for i in range(i0, i1):
+            ack = clock + t_cdel[i]
+            acks_out[i] = ack
+            if i < n - 1:
+                clock = ack + idle[i]
+        return clock
+
+    @njit(cache=False)
+    def _fifo_chain_impl(t_cdel, svc, idle, queue_depth, submits, acks, starts, finishes):
+        n = len(svc)
+        clock = 0.0
+        prev_finish = 0.0
+        for i in range(n):
+            if i >= queue_depth and finishes[i - queue_depth] > clock:
+                clock = finishes[i - queue_depth]
+            ack = clock + t_cdel[i]
+            start = ack if ack >= prev_finish else prev_finish
+            finish = start + svc[i]
+            submits[i] = clock
+            acks[i] = ack
+            starts[i] = start
+            finishes[i] = finish
+            prev_finish = finish
+            if i < n - 1:
+                clock = ack + idle[i]
+
+
+def ack_chain(t_cdel, idle, clock0, i0, i1, n, acks_out) -> float:
+    """Dispatching :func:`ack_chain_py`: compiled when numba is active,
+    the strict-serial ufunc accumulation otherwise (both bit-identical
+    to the Python reference tier)."""
+    if _USE_NUMBA:
+        return float(_ack_chain_impl(t_cdel, idle, clock0, i0, i1, n, acks_out))
+    return ack_chain_np(t_cdel, idle, clock0, i0, i1, n, acks_out)
+
+
+def fifo_chain(t_cdel, svc, idle, queue_depth, submits, acks, starts, finishes) -> None:
+    """Dispatching :func:`fifo_chain_py`: compiled when numba is active."""
+    if _USE_NUMBA:
+        _fifo_chain_impl(t_cdel, svc, idle, queue_depth, submits, acks, starts, finishes)
+        return
+    fifo_chain_py(t_cdel, svc, idle, queue_depth, submits, acks, starts, finishes)

@@ -151,6 +151,98 @@ def test_degraded_sweep_interrupt_then_resume(tmp_path: Path, counted_run_point)
     assert resumed.table == clean.table
 
 
+def _synthetic_spec(sizes: tuple[int, ...]) -> CampaignSpec:
+    """A cheap deterministic grid: one point per ``n_requests`` value."""
+    return CampaignSpec(
+        name="steal-grid",
+        action="synthetic",
+        workloads=("MSNFS",),
+        devices=(DeviceSpec("new", "new-node"),),
+        methods=("revision",),
+        n_requests=sizes,
+        options={"iters_per_request": 3},
+    )
+
+
+class TestWorkStealingResume:
+    """Stealing-scheduler checkpoints obey the same resume contract.
+
+    The chunk queue changes *which worker* computes a point, never the
+    point's run key or checkpoint payload, so a campaign killed
+    mid-steal must resume under either scheduler with zero
+    recomputation and a table identical to an uninterrupted run's.
+    """
+
+    def test_kill_mid_steal_then_resume(self, tmp_path: Path):
+        """Simulated kill after a prefix of stolen chunks: the engine
+        restarted over the same directory computes exactly the missing
+        points and matches an uninterrupted run bit for bit."""
+        from repro.campaign.engine import _CHUNK_PLANS, _CHUNK_SEGMENTS, _run_chunk
+
+        spec = _synthetic_spec(tuple(range(100, 130)))
+        plan = expand(spec)
+        keys = plan.keys()
+        clean = CampaignEngine(spec, out_dir=tmp_path / "clean", jobs=2).run()
+
+        # A worker steals three chunks, checkpoints every point as it
+        # finishes... and the process dies before the queue drains.
+        out = tmp_path / "killed"
+        out.mkdir()
+        context = (spec.to_dict(), str(out), "segments")
+        chunks = plan.chunks(4)
+        done: set[int] = set()
+        try:
+            for chunk in chunks[:3]:
+                _run_chunk(context, [(i, keys[i]) for i in chunk])
+                done.update(chunk)
+        finally:
+            # The "kill": drop the worker's cached plan and segment
+            # handle (every completed line is already flushed to disk).
+            _CHUNK_PLANS.clear()
+            for writer in _CHUNK_SEGMENTS.values():
+                writer.close()
+            _CHUNK_SEGMENTS.clear()
+        assert len(_scan_checkpoints(out, keys)) == len(done) == 12
+
+        resumed = CampaignEngine(
+            spec, out_dir=out, jobs=2, scheduler="stealing"
+        ).run()
+        assert resumed.n_resumed == len(done)
+        assert resumed.n_computed == len(plan) - len(done)
+        assert resumed.table == clean.table
+
+    @pytest.mark.parametrize(
+        "first,second", [("stealing", "static"), ("static", "stealing")]
+    )
+    def test_cross_scheduler_resume(
+        self, tmp_path: Path, counted_run_point, first: str, second: str
+    ):
+        """Checkpoints written under one scheduler resume under the
+        other: run keys are scheduler-agnostic."""
+        spec = _synthetic_spec(tuple(range(100, 112)))
+        n_points = len(expand(spec))
+        out = tmp_path / "camp"
+        killer = counted_run_point(kill_after=5)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignEngine(spec, out_dir=out, scheduler=first).run()
+        assert killer.calls == 5
+
+        counter = counted_run_point()
+        resumed = CampaignEngine(spec, out_dir=out, scheduler=second).run()
+        assert counter.calls == n_points - 5
+        assert resumed.n_resumed == 5 and resumed.n_computed == n_points - 5
+
+    def test_schedulers_produce_identical_tables(self, tmp_path: Path):
+        spec = _synthetic_spec(tuple(range(200, 215)))
+        static = CampaignEngine(
+            spec, out_dir=tmp_path / "static", jobs=2, scheduler="static"
+        ).run()
+        stealing = CampaignEngine(
+            spec, out_dir=tmp_path / "steal", jobs=2, scheduler="stealing"
+        ).run()
+        assert static.table == stealing.table
+
+
 def test_grown_grid_resumes_shared_points(tmp_path: Path, counted_run_point):
     """Adding an axis value only computes the new points."""
     small = _spec()

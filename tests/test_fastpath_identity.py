@@ -1,0 +1,110 @@
+"""Bit-identity of the optional compiled replay kernels.
+
+``repro.replay.fastpath`` keeps three tiers of the same serial chains:
+the pure-Python reference, the strict-serial NumPy accumulation, and
+(behind the ``repro[fast]`` extra) the numba-compiled loops.  Every
+tier must produce bit-for-bit identical IEEE-754 stamps — the compiled
+kernels are built without ``fastmath`` precisely so the operation
+order is preserved.  The NumPy-tier tests run everywhere; the compiled
+comparisons skip unless numba is importable (the dedicated CI leg
+installs it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.replay import fastpath
+from repro.replay.fastpath import (
+    HAVE_NUMBA,
+    ack_chain,
+    ack_chain_np,
+    ack_chain_py,
+    fifo_chain,
+    fifo_chain_py,
+)
+
+
+def _chain_inputs(n: int, seed: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Adversarial float columns: mixed magnitudes so any reassociation
+    of the additions would show up at rounding level."""
+    rng = np.random.default_rng(seed)
+    t_cdel = np.exp(rng.uniform(np.log(1e-3), np.log(1e4), n))
+    svc = np.exp(rng.uniform(np.log(1e-1), np.log(1e5), n))
+    idle = np.exp(rng.uniform(np.log(1e-6), np.log(1e6), n - 1))
+    return t_cdel, svc, idle
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23])
+@pytest.mark.parametrize("n,i0,i1", [(1, 0, 1), (64, 0, 64), (64, 10, 50), (64, 63, 64)])
+def test_ack_chain_np_matches_py(seed: int, n: int, i0: int, i1: int):
+    t_cdel, __, idle = _chain_inputs(n, seed)
+    acks_py = np.zeros(n)
+    acks_np = np.zeros(n)
+    clock_py = ack_chain_py(t_cdel, idle, 123.456, i0, i1, n, acks_py)
+    clock_np = ack_chain_np(t_cdel, idle, 123.456, i0, i1, n, acks_np)
+    np.testing.assert_array_equal(acks_py, acks_np)
+    assert clock_py == clock_np
+
+
+@pytest.mark.parametrize("seed", [1, 11])
+@pytest.mark.parametrize("queue_depth", [1, 4])
+def test_fifo_chain_dispatcher_matches_py(seed: int, queue_depth: int):
+    n = 96
+    t_cdel, svc, idle = _chain_inputs(n, seed)
+    cols_py = [np.zeros(n) for _ in range(4)]
+    cols_dsp = [np.zeros(n) for _ in range(4)]
+    fifo_chain_py(t_cdel, svc, idle, queue_depth, *cols_py)
+    fifo_chain(t_cdel, svc, idle, queue_depth, *cols_dsp)
+    for a, b in zip(cols_py, cols_dsp):
+        np.testing.assert_array_equal(a, b)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed (repro[fast] extra)")
+class TestCompiledTier:
+    """Compiled kernels vs the Python reference, bit for bit."""
+
+    @pytest.fixture(autouse=True)
+    def _force_numba(self):
+        previous = fastpath.numba_enabled()
+        fastpath.set_use_numba(True)
+        yield
+        fastpath.set_use_numba(previous)
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_compiled_ack_chain_bit_identical(self, seed: int):
+        n = 128
+        t_cdel, __, idle = _chain_inputs(n, seed)
+        acks_py = np.zeros(n)
+        acks_jit = np.zeros(n)
+        clock_py = ack_chain_py(t_cdel, idle, 9.25, 0, n, n, acks_py)
+        clock_jit = ack_chain(t_cdel, idle, 9.25, 0, n, n, acks_jit)
+        np.testing.assert_array_equal(acks_py, acks_jit)
+        assert clock_py == clock_jit
+
+    @pytest.mark.parametrize("seed", [1, 11])
+    @pytest.mark.parametrize("queue_depth", [1, 4])
+    def test_compiled_fifo_chain_bit_identical(self, seed: int, queue_depth: int):
+        n = 96
+        t_cdel, svc, idle = _chain_inputs(n, seed)
+        cols_py = [np.zeros(n) for _ in range(4)]
+        cols_jit = [np.zeros(n) for _ in range(4)]
+        fifo_chain_py(t_cdel, svc, idle, queue_depth, *cols_py)
+        fifo_chain(t_cdel, svc, idle, queue_depth, *cols_jit)
+        for a, b in zip(cols_py, cols_jit):
+            np.testing.assert_array_equal(a, b)
+
+    def test_compiled_engine_replay_bit_identical(self):
+        """Whole-replay check: the engine with compiled chains enabled
+        matches the engine with them disabled, stamp for stamp."""
+        from repro.experiments import build_pair_for, new_node
+        from repro.replay import replay_queue_depth
+        from test_replay_batch import assert_replays_identical
+
+        pair = build_pair_for("DAP", n_requests=300)
+        idle = np.full(len(pair.old) - 1, 250.0)
+        compiled = replay_queue_depth(pair.old, new_node(), idle_us=idle, queue_depth=8)
+        fastpath.set_use_numba(False)
+        python = replay_queue_depth(pair.old, new_node(), idle_us=idle, queue_depth=8)
+        assert_replays_identical(compiled, python)
