@@ -16,8 +16,9 @@ and campaigns run:
   per-request ``_service_batch`` loops vs the grouped unique-shape
   kernels, on the flash device and the array), the fig9 interpolation
   kernels (knot-at-a-time slopes/grids vs vectorised), the Algorithm 1
-  group scoring (per-group loop vs fused pass), and campaign
-  checkpointing (JSON-per-point vs append-only segments);
+  group scoring (per-group loop vs fused pass), campaign checkpointing
+  (JSON-per-point vs append-only segments), and the result lake's
+  cross-run incremental skip (cold recompute vs warm catalog hits);
 - **calibration** — a fixed NumPy workload timed in the same run, so
   the CI regression gate can compare absolute stage times across
   machines of different speeds.
@@ -345,6 +346,50 @@ def bench_checkpointing(n_points: int = 384) -> dict[str, float]:
     return {"before_s": before, "after_s": after, "speedup": round(before / after, 2)}
 
 
+def bench_campaign_incremental_skip(n_points: int = 64) -> dict[str, float]:
+    """Recompute-everything vs warm result-lake catalog hits.
+
+    The cross-run incremental path: ``before`` runs the grid cold into
+    a fresh directory (every point computed); ``after`` runs the same
+    grid into *another* fresh directory against a lake some prior
+    campaign already filled, so every point loads from the catalog and
+    zero are computed.  The synthetic action keeps the per-point cost
+    deterministic; the speedup is the campaign-level win of
+    ``repro-campaign run --lake`` on previously-covered grids.
+    """
+    from repro.campaign import CampaignEngine, CampaignSpec, DeviceSpec
+
+    spec = CampaignSpec(
+        name="bench-lake-skip",
+        action="synthetic",
+        workloads=("MSNFS",),
+        devices=(DeviceSpec("new", "new-node"),),
+        methods=("revision",),
+        n_requests=tuple(range(300, 300 + n_points)),
+        options={"iters_per_request": 40},
+    )
+
+    def cold() -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            result = CampaignEngine(spec, out_dir=Path(tmp) / "out").run()
+            assert result.n_computed == n_points
+
+    with tempfile.TemporaryDirectory() as tmp:
+        lake = Path(tmp) / "lake.sqlite"
+        CampaignEngine(spec, out_dir=Path(tmp) / "seed", lake=lake).run()
+
+        def warm() -> None:
+            with tempfile.TemporaryDirectory() as out:
+                result = CampaignEngine(
+                    spec, out_dir=Path(out) / "out", lake=lake
+                ).run()
+                assert result.n_computed == 0 and result.n_lake_hits == n_points
+
+        before = _best_of(cold)
+        after = _best_of(warm)
+    return {"before_s": before, "after_s": after, "speedup": round(before / after, 2)}
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -405,6 +450,7 @@ def run_benchmarks(n_requests: int) -> dict:
         "steepness_select": bench_steepness(n_requests),
         "campaign_checkpoint": bench_checkpointing(),
         "campaign_scheduling": bench_campaign_scheduling(),
+        "campaign_incremental_skip": bench_campaign_incremental_skip(),
     }
     for stage in results["stages"].values():
         stage["before_s"] = round(stage["before_s"], 6)

@@ -57,15 +57,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
         checkpoint_format=args.checkpoint_format,
         scheduler=args.scheduler,
+        lake=args.lake,
         perf=perf,
     )
     result = engine.run(log=None if args.quiet else sys.stderr)
     if args.perf:
         for line in perf.summary_lines():
             print(f"[perf] {line}", file=sys.stderr)
+    lake_note = f", {result.n_lake_hits} from lake" if args.lake else ""
     print(
         f"campaign {spec.name!r}: {len(result.plan)} point(s) "
-        f"({result.n_resumed} resumed, {result.n_computed} computed)"
+        f"({result.n_resumed} resumed, {result.n_computed} computed{lake_note})"
     )
     print(f"results: {out_dir / 'results.csv'}")
     print(f"report:  {out_dir / 'report.md'}")
@@ -156,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--scheduler", choices=SCHEDULERS, default="stealing",
         help="dynamic chunk queue pulled by idle workers (default) or static round-robin shards",
+    )
+    run.add_argument(
+        "--lake", default=None,
+        help="result-lake catalog database: skip points any prior campaign "
+        "computed and record new ones (see repro-lake)",
     )
     run.add_argument(
         "--perf", action="store_true",

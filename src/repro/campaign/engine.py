@@ -348,6 +348,7 @@ class _SegmentWriter:
     def __init__(self, out_dir: Path) -> None:
         self._dir = out_dir / "runs"
         self._handle: TextIO | None = None
+        self.path: Path | None = None
 
     def _open(self) -> TextIO:
         self._dir.mkdir(parents=True, exist_ok=True)
@@ -359,13 +360,23 @@ class _SegmentWriter:
             except FileExistsError:
                 n += 1
                 continue
+            self.path = path
             return os.fdopen(fd, "w", encoding="utf-8")
 
-    def append(self, key: str, row: dict[str, Any]) -> None:
-        """Record one completed run key (one flushed JSON line)."""
+    def append(self, key: str, row: dict[str, Any], wall_s: float | None = None) -> None:
+        """Record one completed run key (one flushed JSON line).
+
+        ``wall_s`` — the point's measured compute time — rides along in
+        the line when given, so the result lake's rescan can rebuild
+        wall-time columns from the flat files alone.  Scanners ignore
+        unknown fields, so old and new lines mix freely in a directory.
+        """
         if self._handle is None:
             self._handle = self._open()
-        self._handle.write(json.dumps({"key": key, "row": row}) + "\n")
+        payload: dict[str, Any] = {"key": key, "row": row}
+        if wall_s is not None:
+            payload["wall_s"] = wall_s
+        self._handle.write(json.dumps(payload) + "\n")
         self._handle.flush()
 
     def close(self) -> None:
@@ -385,8 +396,16 @@ def _valid_row(data: Any, key: str | None = None) -> dict[str, Any] | None:
     return row if isinstance(row, dict) and isinstance(data.get("key"), str) else None
 
 
-def _scan_checkpoints(out_dir: Path, keys: list[str]) -> dict[str, dict[str, Any]]:
-    """All checkpointed rows for ``keys``, from one directory scan.
+def _wall_s_of(data: Any) -> float | None:
+    """The checkpoint payload's wall-time stamp, when present and sane."""
+    value = data.get("wall_s") if isinstance(data, dict) else None
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _scan_checkpoints_meta(
+    out_dir: Path, keys: list[str]
+) -> dict[str, tuple[dict[str, Any], float | None, str]]:
+    """Checkpointed ``(row, wall_s, filename)`` per key, one dir scan.
 
     Reads every segment file and exactly the per-point JSON files whose
     key appears in the listing — a resumed campaign no longer stats
@@ -400,6 +419,11 @@ def _scan_checkpoints(out_dir: Path, keys: list[str]) -> dict[str, dict[str, Any
     later lines beating earlier ones inside a segment and filename as
     the cross-file tiebreak — matching the overwrite semantics the
     JSON-per-point format always had.
+
+    The metadata — the wall-time stamp a new-format line carries
+    (``None`` for old lines) and the checkpoint file's name — is what
+    the result lake's rescan ingests; the engine's own resume path
+    reads just the rows through :func:`_scan_checkpoints`.
     """
     runs_dir = out_dir / "runs"
     try:
@@ -408,7 +432,7 @@ def _scan_checkpoints(out_dir: Path, keys: list[str]) -> dict[str, dict[str, Any
     except OSError:
         return {}
     wanted = set(keys)
-    best: dict[str, tuple[int, dict[str, Any]]] = {}
+    best: dict[str, tuple[int, dict[str, Any], float | None, str]] = {}
     segments = sorted(
         (
             name
@@ -433,32 +457,48 @@ def _scan_checkpoints(out_dir: Path, keys: list[str]) -> dict[str, dict[str, Any
                 continue
             previous = best.get(data["key"])
             if previous is None or mtime >= previous[0]:
-                best[data["key"]] = (mtime, row)
+                best[data["key"]] = (mtime, row, _wall_s_of(data), name)
     for key in keys:
-        mtime = entries.get(f"{key}.json")
+        name = f"{key}.json"
+        mtime = entries.get(name)
         if mtime is None:
             continue
         previous = best.get(key)
         if previous is not None and previous[0] > mtime:
             continue
-        row = _load_checkpoint(out_dir, key)
+        try:
+            data = json.loads(_checkpoint_path(out_dir, key).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        row = _valid_row(data, key)
         if row is not None:
-            best[key] = (mtime, row)
-    return {key: row for key, (_, row) in best.items()}
+            best[key] = (mtime, row, _wall_s_of(data), name)
+    return {key: (row, wall_s, name) for key, (_, row, wall_s, name) in best.items()}
 
 
-def _write_checkpoint(out_dir: Path, key: str, row: dict[str, Any]) -> None:
+def _scan_checkpoints(out_dir: Path, keys: list[str]) -> dict[str, dict[str, Any]]:
+    """All checkpointed rows for ``keys`` (see :func:`_scan_checkpoints_meta`)."""
+    return {key: row for key, (row, _, _) in _scan_checkpoints_meta(out_dir, keys).items()}
+
+
+def _write_checkpoint(
+    out_dir: Path, key: str, row: dict[str, Any], wall_s: float | None = None
+) -> None:
     """Atomically record one completed run key.
 
     Write-then-rename keeps readers (a resuming campaign, a concurrent
     ``repro-campaign report``) from ever seeing a torn file; the PID in
     the temp name keeps parallel shard workers from clobbering each
-    other's in-flight writes.
+    other's in-flight writes.  ``wall_s`` rides along like the segment
+    format's (:meth:`_SegmentWriter.append`).
     """
     path = _checkpoint_path(out_dir, key)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(f".{os.getpid()}.tmp")
-    tmp.write_text(json.dumps({"key": key, "row": row}), encoding="utf-8")
+    payload: dict[str, Any] = {"key": key, "row": row}
+    if wall_s is not None:
+        payload["wall_s"] = wall_s
+    tmp.write_text(json.dumps(payload), encoding="utf-8")
     os.replace(tmp, path)
 
 
@@ -472,36 +512,108 @@ def _load_checkpoint(out_dir: Path, key: str) -> dict[str, Any] | None:
     return _valid_row(data, key)
 
 
+#: Per-worker cache of open lake catalogs, keyed by database path.  A
+#: worker records every point it completes into one connection; the
+#: catalog runs WAL mode with a busy timeout, so concurrent workers
+#: (and concurrent campaigns) interleave their upserts safely.
+_WORKER_LAKES: dict[str, Any] = {}
+
+
+def _worker_lake(lake_text: str | None):
+    """This worker's open lake catalog, or ``None`` when no lake is set."""
+    if lake_text is None:
+        return None
+    lake = _WORKER_LAKES.get(lake_text)
+    if lake is None:
+        from ..lake.catalog import LakeCatalog
+
+        lake = _WORKER_LAKES.setdefault(lake_text, LakeCatalog(lake_text))
+    return lake
+
+
+def _record_into_lake(
+    lake: Any,
+    spec: CampaignSpec,
+    key: str,
+    row: dict[str, Any],
+    wall_s: float | None,
+    out_dir: Path | None,
+    checkpoint_file: str | None,
+) -> None:
+    """Best-effort lake recording of one completed point.
+
+    A full disk or a read-only catalog must never fail the campaign
+    that computed the point — the checkpoint on disk already has it,
+    and the next ``repro-lake ingest`` will pick it up.
+    """
+    import sqlite3
+
+    from ..lake.ingest import record_campaign_point
+
+    try:
+        record_campaign_point(
+            lake,
+            spec,
+            key,
+            row,
+            wall_s=wall_s,
+            source_dir=out_dir,
+            checkpoint_file=checkpoint_file,
+        )
+    except (sqlite3.Error, OSError):
+        pass
+
+
+def _unpack_context(
+    context: tuple[Any, ...],
+) -> tuple[dict[str, Any], str | None, str, str | None]:
+    """``(spec dict, out dir, checkpoint format, lake path)`` from a
+    worker context tuple; the lake slot is optional for callers built
+    before the lake existed."""
+    spec_dict, out_dir_text, checkpoint_format, *rest = context
+    return spec_dict, out_dir_text, checkpoint_format, rest[0] if rest else None
+
+
 def _run_shard(
-    context: tuple[dict[str, Any], str | None, str],
+    context: tuple[Any, ...],
     items: list[tuple[int, str]],
 ) -> list[tuple[str, dict[str, Any]]]:
     """Worker entry point: run one shard of (point index, run key) pairs.
 
     Module-level (picklable) and self-contained: the campaign context
-    ``(spec dict, output dir, checkpoint format)`` arrives once per
-    worker through :meth:`~repro.experiments.runner.ParallelRunner.map`'s
-    initializer — not re-pickled per shard — and the plan is
-    re-expanded locally (expansion is deterministic, so indices agree
-    with the parent's plan).  Each completed point is checkpointed
-    immediately: appended to this shard's segment file, or written as
-    its own atomic JSON under the fallback format.
+    ``(spec dict, output dir, checkpoint format, lake path)`` arrives
+    once per worker through :meth:`~repro.experiments.runner.
+    ParallelRunner.map`'s initializer — not re-pickled per shard — and
+    the plan is re-expanded locally (expansion is deterministic, so
+    indices agree with the parent's plan).  Each completed point is
+    checkpointed immediately — appended to this shard's segment file,
+    or written as its own atomic JSON under the fallback format — and,
+    when a lake is configured, recorded into the catalog with its
+    measured wall time.
     """
-    spec_dict, out_dir_text, checkpoint_format = context
+    spec_dict, out_dir_text, checkpoint_format, lake_text = _unpack_context(context)
     spec = CampaignSpec.from_dict(spec_dict)
     plan = expand(spec)
     out_dir = Path(out_dir_text) if out_dir_text else None
+    lake = _worker_lake(lake_text)
     segment = _SegmentWriter(out_dir) if (
         out_dir is not None and checkpoint_format == "segments"
     ) else None
     results: list[tuple[str, dict[str, Any]]] = []
     try:
         for index, key in items:
+            start = time.perf_counter()
             row = run_point(spec, plan.points[index])
+            wall_s = round(time.perf_counter() - start, 6)
+            checkpoint_file: str | None = None
             if segment is not None:
-                segment.append(key, row)
+                segment.append(key, row, wall_s=wall_s)
+                checkpoint_file = segment.path.name if segment.path else None
             elif out_dir is not None:
-                _write_checkpoint(out_dir, key, row)
+                _write_checkpoint(out_dir, key, row, wall_s=wall_s)
+                checkpoint_file = f"{key}.json"
+            if lake is not None:
+                _record_into_lake(lake, spec, key, row, wall_s, out_dir, checkpoint_file)
             results.append((key, row))
     finally:
         if segment is not None:
@@ -521,21 +633,21 @@ _CHUNK_SEGMENTS: dict[tuple[str, str], _SegmentWriter] = {}
 
 
 def _run_chunk(
-    context: tuple[dict[str, Any], str | None, str],
+    context: tuple[Any, ...],
     items: list[tuple[int, str]],
 ) -> list[tuple[str, dict[str, Any]]]:
     """Worker entry point for the stealing scheduler: run one chunk.
 
     Same contract as :func:`_run_shard` — (point index, run key) pairs
     in, checkpointed ``(key, row)`` pairs out — but built to be called
-    many times per worker: the spec expansion and the segment writer
-    live in module-global per-worker caches, so a hundred chunks cost
-    one plan expansion and open one segment file.  Cached segments are
-    never explicitly closed; every append is flushed, so the handle is
-    crash-equivalent to the shard path's and the checkpoint is complete
-    the moment the line hits the file.
+    many times per worker: the spec expansion, the segment writer, and
+    the lake connection live in module-global per-worker caches, so a
+    hundred chunks cost one plan expansion and open one segment file.
+    Cached segments are never explicitly closed; every append is
+    flushed, so the handle is crash-equivalent to the shard path's and
+    the checkpoint is complete the moment the line hits the file.
     """
-    spec_dict, out_dir_text, checkpoint_format = context
+    spec_dict, out_dir_text, checkpoint_format, lake_text = _unpack_context(context)
     spec_key = json.dumps(spec_dict, sort_keys=True)
     cached = _CHUNK_PLANS.get(spec_key)
     if cached is None:
@@ -545,6 +657,7 @@ def _run_chunk(
         _CHUNK_PLANS[spec_key] = cached
     spec, plan = cached
     out_dir = Path(out_dir_text) if out_dir_text else None
+    lake = _worker_lake(lake_text)
     segment = None
     if out_dir is not None and checkpoint_format == "segments":
         seg_key = (str(out_dir), checkpoint_format)
@@ -553,11 +666,18 @@ def _run_chunk(
             segment = _CHUNK_SEGMENTS.setdefault(seg_key, _SegmentWriter(out_dir))
     results: list[tuple[str, dict[str, Any]]] = []
     for index, key in items:
+        start = time.perf_counter()
         row = run_point(spec, plan.points[index])
+        wall_s = round(time.perf_counter() - start, 6)
+        checkpoint_file: str | None = None
         if segment is not None:
-            segment.append(key, row)
+            segment.append(key, row, wall_s=wall_s)
+            checkpoint_file = segment.path.name if segment.path else None
         elif out_dir is not None:
-            _write_checkpoint(out_dir, key, row)
+            _write_checkpoint(out_dir, key, row, wall_s=wall_s)
+            checkpoint_file = f"{key}.json"
+        if lake is not None:
+            _record_into_lake(lake, spec, key, row, wall_s, out_dir, checkpoint_file)
         results.append((key, row))
     return results
 
@@ -569,13 +689,20 @@ def _run_chunk(
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """What one engine run produced (and how much of it was resumed)."""
+    """What one engine run produced (and how much of it was reused).
+
+    ``n_resumed`` counts points loaded back from this directory's own
+    checkpoints; ``n_lake_hits`` counts points skipped because *some
+    prior campaign* — any directory, any machine sharing the catalog —
+    already recorded their run keys in the result lake.
+    """
 
     table: ResultsTable
     plan: CampaignPlan
     n_computed: int
     n_resumed: int
     out_dir: Path | None
+    n_lake_hits: int = 0
 
 
 class CampaignEngine:
@@ -599,7 +726,15 @@ class CampaignEngine:
     resume:
         Load checkpointed run keys instead of recomputing them
         (default).  ``False`` ignores — but does not delete — existing
-        checkpoints.
+        checkpoints (and skips the lake lookup).
+    lake:
+        Optional result-lake catalog database
+        (:class:`~repro.lake.catalog.LakeCatalog` path).  With a lake,
+        pending points whose run keys any prior campaign recorded are
+        loaded from the catalog instead of recomputed
+        (``n_lake_hits``), and every point this run computes is
+        recorded back — campaigns become incremental across runs and
+        directories, not just resumable within one.
     checkpoint_format:
         ``"segments"`` (default) appends completed points to per-shard
         ``segment-*.jsonl`` files — one open file per shard, flat
@@ -632,6 +767,7 @@ class CampaignEngine:
         resume: bool = True,
         checkpoint_format: str = "segments",
         scheduler: str = "stealing",
+        lake: "str | Path | None" = None,
         perf: "PerfRecorder | None" = None,
     ) -> None:
         if jobs < 1:
@@ -652,6 +788,7 @@ class CampaignEngine:
         self.resume = resume
         self.checkpoint_format = checkpoint_format
         self.scheduler = scheduler
+        self.lake = Path(lake) if lake is not None else None
         self.perf = perf if perf is not None else PerfRecorder(enabled=False)
 
     def run(self, log: TextIO | None = None) -> CampaignResult:
@@ -672,20 +809,40 @@ class CampaignEngine:
                 completed = _scan_checkpoints(self.out_dir, keys)
         pending = [i for i, key in enumerate(keys) if key not in completed]
         n_resumed = len(plan) - len(pending)
+        n_lake_hits = 0
+        if pending and self.lake is not None and self.resume:
+            # Cross-campaign skip: run keys some prior campaign already
+            # recorded load straight from the catalog — the lake's
+            # whole point.  Run keys cover everything that determines a
+            # row (plan.run_key), so a hit is exact, not heuristic.
+            with self.perf.stage("lake_scan"):
+                from ..lake.catalog import LakeCatalog
+
+                with LakeCatalog(self.lake) as lake:
+                    hits = lake.completed_rows([keys[i] for i in pending])
+            completed.update(hits)
+            pending = [i for i in pending if keys[i] not in completed]
+            n_lake_hits = len(hits)
         if log is not None:
+            lake_note = f", {n_lake_hits} from lake" if self.lake is not None else ""
             log.write(
                 f"[campaign] {self.spec.name}: {len(plan)} point(s), "
-                f"{n_resumed} checkpointed, {len(pending)} to compute "
+                f"{n_resumed} checkpointed{lake_note}, {len(pending)} to compute "
                 f"(jobs={self.jobs}, scheduler={self.scheduler})\n"
             )
+        if self.out_dir is not None:
+            # Even a zero-compute run (everything resumed or lake-hit)
+            # writes outputs below, so the directory must exist and be
+            # self-describing: spec.json is what `repro-campaign
+            # report` and `repro-lake ingest` recognise a campaign by.
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            self._write_spec_once()
         if pending:
-            if self.out_dir is not None:
-                self.out_dir.mkdir(parents=True, exist_ok=True)
-                self._write_spec_once()
             out_dir_text = str(self.out_dir) if self.out_dir is not None else None
+            lake_text = str(self.lake) if self.lake is not None else None
             # The spec dict ships once per worker (map's context
             # initializer), not once per shard task.
-            context = (self.spec.to_dict(), out_dir_text, self.checkpoint_format)
+            context = (self.spec.to_dict(), out_dir_text, self.checkpoint_format, lake_text)
             if self.scheduler == "stealing" and self.jobs > 1:
                 # Many small contiguous chunks on the pool's task
                 # queue; idle workers pull the next chunk as they
@@ -720,12 +877,14 @@ class CampaignEngine:
             table = ResultsTable.from_rows([completed[key] for key in keys])
             if self.out_dir is not None:
                 self._write_outputs(table, n_resumed=n_resumed, n_computed=len(pending))
+                self._record_results_artifacts()
         return CampaignResult(
             table=table,
             plan=plan,
             n_computed=len(pending),
             n_resumed=n_resumed,
             out_dir=self.out_dir,
+            n_lake_hits=n_lake_hits,
         )
 
     def _write_spec_once(self) -> None:
@@ -759,6 +918,34 @@ class CampaignEngine:
         if self.spec.options.get("ab"):
             report = report + "\n" + ab_campaign_report(self.spec, table)
         (self.out_dir / "report.md").write_text(report, encoding="utf-8")
+
+    def _record_results_artifacts(self) -> None:
+        """Best-effort catalog registration of the aggregate tables.
+
+        Mirrors what ``repro-lake ingest`` records for a campaign
+        directory's ``results.npz``/``results.csv``, so a live-recorded
+        catalog and a rescan of the same tree hold identical artifact
+        rows.  No lake configured, or a write failure, is a no-op.
+        """
+        if self.lake is None or self.out_dir is None:
+            return
+        import sqlite3
+
+        from ..lake.catalog import LakeCatalog
+
+        try:
+            with LakeCatalog(self.lake) as lake:
+                for name in ("results.npz", "results.csv"):
+                    path = self.out_dir / name
+                    if path.exists():
+                        lake.record_artifact(
+                            "results",
+                            path,
+                            ref=f"campaign:{self.spec.name}",
+                            meta={"campaign": self.spec.name},
+                        )
+        except (sqlite3.Error, OSError):
+            pass
 
 
 def run_campaign(

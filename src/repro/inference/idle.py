@@ -13,11 +13,11 @@ timing the post-processing stage later restores.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..trace.io.fingerprint import trace_digest
 from ..trace.trace import BlockTrace
 from .decompose import InferenceConfig, InferenceReport, estimate_model
 from .model import LatencyModel
@@ -36,23 +36,12 @@ _MODEL_MEMO_MAX = 32
 def _trace_digest(trace: BlockTrace) -> bytes:
     """Cheap content fingerprint of the columns inference reads.
 
-    Traces materialised through the binary trace store already carry a
-    content fingerprint that uniquely determines every column — reuse
-    it and skip hashing entirely.  Otherwise hash the columns with
-    ``blake2b`` (measurably faster than sha1 at these sizes) fed
-    contiguous memoryviews, so no column is ever copied out to an
-    intermediate ``bytes``.
+    The definition lives in :func:`repro.trace.io.fingerprint.
+    trace_digest` — one blake2b column digest shared with the result
+    lake — and this alias is kept so the memo keys (and the perf tests
+    pinning them) read the same as they always did.
     """
-    if trace.content_fingerprint is not None:
-        return trace.content_fingerprint.encode("utf-8")
-    h = hashlib.blake2b(digest_size=20)
-    for column in (trace.timestamps, trace.lbas, trace.sizes, trace.ops):
-        h.update(memoryview(np.ascontiguousarray(column)))
-    if trace.has_device_times:
-        assert trace.issues is not None and trace.completes is not None
-        h.update(memoryview(np.ascontiguousarray(trace.issues)))
-        h.update(memoryview(np.ascontiguousarray(trace.completes)))
-    return h.digest()
+    return trace_digest(trace)
 
 
 def _estimate_model_memo(trace: BlockTrace, config: InferenceConfig | None) -> InferenceReport:

@@ -1,0 +1,199 @@
+"""The ``repro-lake`` command line interface.
+
+Five subcommands over one catalog database (``--db``, defaulting to
+``$REPRO_LAKE_DB`` or ``~/.cache/repro-tracetracker/lake.sqlite``):
+
+``repro-lake ingest <path>... [--rescan]``
+    Walk directory trees (or single ``.npz`` files) and catalog every
+    campaign directory and trace-store entry found.  ``--rescan``
+    clears the catalog first — the full rebuild that recovers a
+    deleted/corrupt catalog from the flat files, and the migration
+    path for pre-lake directories.
+
+``repro-lake query [--workload W] [--device-kind K] [--min-qd N] ...``
+    Cross-campaign point queries ("all flash_array runs at qd≥8
+    touching workload X"), rendered as markdown or CSV through the
+    campaign results table.
+
+``repro-lake similar (--fingerprint F | --trace PATH) [-k N]``
+    Exact nearest-neighbour workload matching: the named trace's
+    closest already-characterised workloads, before any replay runs.
+
+``repro-lake gc``
+    Drop rows whose backing files no longer exist.
+
+``repro-lake stats``
+    Row counts per table.
+
+Exit status is non-zero on unknown paths, bad databases, or an empty
+``similar`` query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..campaign.results import ResultsTable
+from ..trace.io.store import TraceStoreError, load_trace_npz
+from .catalog import LakeCatalog, LakeError, default_lake_path
+from .features import trace_feature_vector
+from .ingest import ingest_tree
+from .similarity import similar_traces
+
+__all__ = ["main"]
+
+
+def _open(args: argparse.Namespace) -> LakeCatalog:
+    return LakeCatalog(args.db)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    with _open(args) as catalog:
+        if args.rescan:
+            catalog.clear()
+        totals: dict[str, int] = {}
+        for path in args.paths:
+            p = Path(path)
+            if not p.exists():
+                print(f"error: no such path {p}", file=sys.stderr)
+                return 2
+            report = ingest_tree(catalog, p)
+            for name, count in report.items():
+                totals[name] = totals.get(name, 0) + count
+        for name in sorted(totals):
+            print(f"{name}: {totals[name]}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with _open(args) as catalog:
+        rows = catalog.query_points(
+            workload=args.workload,
+            device_kind=args.device_kind,
+            device_name=args.device,
+            method=args.method,
+            action=args.action,
+            campaign=args.campaign,
+            min_queue_depth=args.min_qd,
+            min_n_requests=args.min_requests,
+        )
+    if not rows:
+        print("no matching campaign points", file=sys.stderr)
+        return 1
+    table = ResultsTable.from_rows(rows)
+    if args.format == "csv":
+        print(table.to_csv(), end="")
+    else:
+        print(table.to_markdown())
+    return 0
+
+
+def _cmd_similar(args: argparse.Namespace) -> int:
+    with _open(args) as catalog:
+        if args.trace is not None:
+            try:
+                trace = load_trace_npz(args.trace)
+            except TraceStoreError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            query: object = trace_feature_vector(trace)
+        else:
+            query = args.fingerprint
+        try:
+            neighbors = similar_traces(catalog, query, k=args.k)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if not neighbors:
+            print("catalog holds no trace feature vectors", file=sys.stderr)
+            return 1
+        for n in neighbors:
+            artifact = catalog.artifact(n.fingerprint)
+            name = artifact["meta"].get("name", "") if artifact else ""
+            path = artifact["path"] if artifact else ""
+            print(f"{n.distance:10.4f}  {n.fingerprint[:16]}  {name:<12}  {path}")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    with _open(args) as catalog:
+        removed = catalog.gc()
+    for name in sorted(removed):
+        print(f"removed {name}: {removed[name]}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _open(args) as catalog:
+        counts = catalog.counts()
+    for name in sorted(counts):
+        print(f"{name}: {counts[name]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lake`` argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lake",
+        description="Content-addressed result lake: catalog, query, similarity search.",
+    )
+    parser.add_argument(
+        "--db",
+        default=str(default_lake_path()),
+        help="catalog database (default: $REPRO_LAKE_DB or ~/.cache)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ingest = sub.add_parser("ingest", help="catalog directory trees / trace files")
+    ingest.add_argument("paths", nargs="+", help="directories or .npz files to ingest")
+    ingest.add_argument(
+        "--rescan",
+        action="store_true",
+        help="clear the catalog first and rebuild it from the tree",
+    )
+    ingest.set_defaults(func=_cmd_ingest)
+
+    query = sub.add_parser("query", help="cross-campaign grid-point queries")
+    query.add_argument("--workload", default=None, help="exact workload name")
+    query.add_argument("--device-kind", default=None, help="device registry kind")
+    query.add_argument("--device", default=None, help="device display name")
+    query.add_argument("--method", default=None, help="reconstruction method string")
+    query.add_argument("--action", default=None, help="campaign action")
+    query.add_argument("--campaign", default=None, help="campaign name")
+    query.add_argument("--min-qd", type=float, default=None, help="minimum queue depth")
+    query.add_argument(
+        "--min-requests", type=int, default=None, help="minimum trace size"
+    )
+    query.add_argument("--format", choices=("md", "csv"), default="md")
+    query.set_defaults(func=_cmd_query)
+
+    similar = sub.add_parser("similar", help="nearest already-characterised workloads")
+    source = similar.add_mutually_exclusive_group(required=True)
+    source.add_argument("--fingerprint", default=None, help="cataloged trace fingerprint")
+    source.add_argument("--trace", default=None, help="a trace-store .npz to match")
+    similar.add_argument("-k", type=int, default=5, help="neighbours to return")
+    similar.set_defaults(func=_cmd_similar)
+
+    gc = sub.add_parser("gc", help="drop rows whose backing files are gone")
+    gc.set_defaults(func=_cmd_gc)
+
+    stats = sub.add_parser("stats", help="row counts per catalog table")
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (the ``repro-lake`` console script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (LakeError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

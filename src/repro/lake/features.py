@@ -1,0 +1,157 @@
+"""Deterministic workload-feature vectors for trace similarity.
+
+:func:`trace_feature_vector` maps a :class:`~repro.trace.trace.
+BlockTrace` to a fixed-length float64 vector of summary statistics —
+request-size distribution, inter-arrival distribution, operation mix,
+address locality, and (when the trace carries device stamps) a
+queue-depth profile.  The guarantees the lake's property tests pin:
+
+- **pure function of the columns** — two traces with equal column
+  arrays produce bit-equal vectors, regardless of how the columns were
+  produced (whole-file parse, chunked streaming, store round-trip) or
+  in which process;
+- **no randomness, no wall clock** — every statistic is a NumPy
+  reduction with a fixed definition, so vectors written into the
+  catalog by one machine reproduce on another.
+
+Heavy-tailed quantities (sizes, gaps, address jumps) enter as
+``log1p`` so one huge outlier cannot dominate a distance;
+:mod:`repro.lake.similarity` additionally standardises each dimension
+across the catalog before measuring distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace.record import OpType
+from ..trace.trace import BlockTrace
+
+__all__ = ["FEATURES_VERSION", "feature_names", "trace_feature_vector", "feature_dict"]
+
+#: Bump on any change to the vector's length, order, or definitions.
+#: Stored with every catalog row; similarity silently skips rows whose
+#: version differs (they re-enter on the next ingest).
+FEATURES_VERSION = 1
+
+_NAMES = (
+    "log10_n_requests",
+    "read_fraction",
+    "size_mean_log",
+    "size_std_log",
+    "size_p50_log",
+    "size_p90_log",
+    "size_max_log",
+    "intt_mean_log",
+    "intt_std_log",
+    "intt_p50_log",
+    "intt_p90_log",
+    "intt_cv",
+    "seq_fraction",
+    "lba_jump_log_mean",
+    "qdepth_mean",
+    "qdepth_max",
+)
+
+
+def feature_names() -> tuple[str, ...]:
+    """The vector's dimension names, in storage order."""
+    return _NAMES
+
+
+def _log1p_stats(values: np.ndarray) -> tuple[float, float, float, float]:
+    """(mean, std, p50, p90) of ``log1p(values)`` — zeros when empty."""
+    if len(values) == 0:
+        return 0.0, 0.0, 0.0, 0.0
+    logged = np.log1p(values.astype(np.float64))
+    return (
+        float(logged.mean()),
+        float(logged.std()),
+        float(np.percentile(logged, 50)),
+        float(np.percentile(logged, 90)),
+    )
+
+
+def _qdepth_profile(trace: BlockTrace) -> tuple[float, float]:
+    """(time-weighted mean, max) outstanding requests.
+
+    Computed from the issue/completion stamps when the trace carries
+    them (":math:`T_{sdev}` known" traces); traces without device times
+    report ``(0, 0)`` — a defined, version-stable value rather than a
+    guess, so the similarity space never mixes measured and imagined
+    concurrency.
+    """
+    if not trace.has_device_times or len(trace) == 0:
+        return 0.0, 0.0
+    assert trace.issues is not None and trace.completes is not None
+    times = np.concatenate([trace.issues, trace.completes])
+    deltas = np.concatenate(
+        [np.ones(len(trace), dtype=np.int64), -np.ones(len(trace), dtype=np.int64)]
+    )
+    # Completions sort before issues at equal stamps (lexsort's primary
+    # key is the last array), so an instantaneous request contributes
+    # zero depth rather than one.
+    order = np.lexsort((deltas, times))
+    sorted_times = times[order]
+    running = np.cumsum(deltas[order])
+    span = float(sorted_times[-1] - sorted_times[0])
+    if span <= 0.0:
+        return 0.0, float(running.max(initial=0))
+    widths = np.diff(sorted_times)
+    mean = float(np.dot(running[:-1].astype(np.float64), widths) / span)
+    return mean, float(running.max(initial=0))
+
+
+def trace_feature_vector(trace: BlockTrace) -> np.ndarray:
+    """The trace's feature vector (float64, :func:`feature_names` order).
+
+    Deterministic in the trace's columns alone — see the module
+    docstring for the exact guarantees.
+    """
+    n = len(trace)
+    sizes = trace.sizes.astype(np.float64)
+    gaps = np.diff(trace.timestamps) if n > 1 else np.empty(0, dtype=np.float64)
+    gaps = np.maximum(gaps, 0.0)
+    size_mean, size_std, size_p50, size_p90 = _log1p_stats(sizes)
+    intt_mean, intt_std, intt_p50, intt_p90 = _log1p_stats(gaps)
+    if len(gaps) and gaps.mean() > 0.0:
+        intt_cv = float(gaps.std() / gaps.mean())
+    else:
+        intt_cv = 0.0
+    if n > 1:
+        jumps = np.abs(np.diff(trace.lbas).astype(np.float64))
+        next_lba = trace.lbas[:-1] + trace.sizes[:-1]
+        seq_fraction = float(np.mean(trace.lbas[1:] == next_lba))
+        lba_jump = float(np.log1p(jumps).mean())
+    else:
+        seq_fraction = 0.0
+        lba_jump = 0.0
+    qd_mean, qd_max = _qdepth_profile(trace)
+    vector = np.array(
+        [
+            float(np.log10(n)) if n else 0.0,
+            float(np.mean(trace.ops == int(OpType.READ))) if n else 0.0,
+            size_mean,
+            size_std,
+            size_p50,
+            size_p90,
+            float(np.log1p(sizes.max(initial=0.0))),
+            intt_mean,
+            intt_std,
+            intt_p50,
+            intt_p90,
+            intt_cv,
+            seq_fraction,
+            lba_jump,
+            qd_mean,
+            qd_max,
+        ],
+        dtype=np.float64,
+    )
+    assert vector.shape == (len(_NAMES),)
+    return vector
+
+
+def feature_dict(trace: BlockTrace) -> dict[str, float]:
+    """The feature vector keyed by dimension name (reports, debugging)."""
+    return dict(zip(_NAMES, trace_feature_vector(trace).tolist()))

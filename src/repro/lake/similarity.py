@@ -1,0 +1,105 @@
+"""Exact nearest-neighbour search over the lake's feature matrix.
+
+Brute-force and deterministic by design: the catalog holds thousands of
+traces, not billions, so an exact standardised-Euclidean scan (a few
+vectorised NumPy operations) beats an approximate index that would add
+a dependency and non-determinism.  The contract the property tests pin:
+
+- a cataloged trace is always its own nearest neighbour (distance 0);
+- results are a pure function of the feature matrix — same catalog,
+  same query, same ranking, in any process;
+- ties break by fingerprint, ascending, so rankings are total.
+
+Feature dimensions are standardised (z-scored) across the matrix
+before distances are measured, so a dimension with large natural
+magnitude (log trace length) cannot drown one with small magnitude
+(read fraction).  Constant dimensions are left untouched — they
+contribute zero to every distance either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Neighbor", "nearest_neighbors", "similar_traces"]
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One similarity hit: a cataloged trace and its distance."""
+
+    fingerprint: str
+    distance: float
+
+
+def _standardize(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Z-score each column; returns (standardised, mean, scale).
+
+    Columns with zero spread keep scale 1 so they map to a constant —
+    equal in every row, hence distance-neutral.
+    """
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    scale = np.where(std > 0.0, std, 1.0)
+    return (matrix - mean) / scale, mean, scale
+
+
+def nearest_neighbors(
+    fingerprints: list[str],
+    matrix: np.ndarray,
+    query: np.ndarray,
+    k: int = 5,
+    exclude: str | None = None,
+) -> list[Neighbor]:
+    """The ``k`` cataloged vectors closest to ``query``.
+
+    ``matrix`` rows correspond to ``fingerprints``
+    (:meth:`~repro.lake.catalog.LakeCatalog.feature_matrix` order);
+    ``query`` is a raw (unstandardised) feature vector.  ``exclude``
+    drops one fingerprint from the result — the idiom for "neighbours
+    of a trace already in the catalog, other than itself".  Distances
+    are standardised-Euclidean; ties order by fingerprint.
+    """
+    if len(fingerprints) != len(matrix):
+        raise ValueError(
+            f"{len(fingerprints)} fingerprints for {len(matrix)} matrix rows"
+        )
+    if len(matrix) == 0:
+        return []
+    query = np.asarray(query, dtype=np.float64)
+    if query.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"query has shape {query.shape}; expected ({matrix.shape[1]},)"
+        )
+    standardized, mean, scale = _standardize(matrix)
+    q = (query - mean) / scale
+    distances = np.sqrt(((standardized - q) ** 2).sum(axis=1))
+    order = sorted(range(len(fingerprints)), key=lambda i: (distances[i], fingerprints[i]))
+    out: list[Neighbor] = []
+    for i in order:
+        if exclude is not None and fingerprints[i] == exclude:
+            continue
+        out.append(Neighbor(fingerprint=fingerprints[i], distance=float(distances[i])))
+        if len(out) == k:
+            break
+    return out
+
+
+def similar_traces(catalog, query: np.ndarray | str, k: int = 5) -> list[Neighbor]:
+    """Nearest cataloged traces to a query vector or fingerprint.
+
+    With a fingerprint, the stored vector is the query and the trace
+    itself is excluded from its own result list.  ``catalog`` is a
+    :class:`~repro.lake.catalog.LakeCatalog` (typed loosely to keep
+    this module import-light).
+    """
+    fingerprints, matrix = catalog.feature_matrix()
+    exclude = None
+    if isinstance(query, str):
+        if query not in fingerprints:
+            raise KeyError(f"no feature vector cataloged for {query!r}")
+        exclude = query
+        query = matrix[fingerprints.index(query)]
+    return nearest_neighbors(fingerprints, matrix, query, k=k, exclude=exclude)

@@ -19,6 +19,9 @@ This package is the high-throughput counterpart to the row-wise
   reader that yields :class:`~repro.trace.trace.BlockTrace` segments
   so traces larger than memory stream through
   parse → filter → infer → replay without full materialisation.
+- :mod:`~repro.trace.io.fingerprint` — the shared content-identity
+  helpers: the blake2b column digest (inference memo keys) and the
+  file SHA-256 the result lake catalogs artifacts under.
 """
 
 from .bulk import (
@@ -30,6 +33,7 @@ from .bulk import (
     parse_msrc_bulk,
 )
 from .cache import TraceStore, default_trace_store_dir, get_default_store, set_default_store
+from .fingerprint import file_sha256, trace_digest
 from .reader import TraceReader, TraceStreamError
 from .store import (
     STORE_FORMAT_VERSION,
@@ -49,6 +53,8 @@ __all__ = [
     "TraceStoreError",
     "save_trace_npz",
     "load_trace_npz",
+    "trace_digest",
+    "file_sha256",
     "TraceStore",
     "default_trace_store_dir",
     "get_default_store",

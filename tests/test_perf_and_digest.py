@@ -107,3 +107,61 @@ class TestTraceDigest:
         second = extract_idle(trace)
         assert first.report is second.report  # memo hit, keyed by the stamp
         assert len(_MODEL_MEMO) == 1
+
+
+class TestHoistedDigestIdentity:
+    """The digest hoisted to ``repro.trace.io.fingerprint`` is bit-identical
+    to the private helper that historically lived in ``repro.inference.idle``
+    — every memo key ever written stays valid across the move."""
+
+    @staticmethod
+    def _legacy_digest(trace: BlockTrace) -> bytes:
+        """The pre-hoist ``inference.idle._trace_digest``, verbatim."""
+        import hashlib
+
+        if trace.content_fingerprint is not None:
+            return trace.content_fingerprint.encode("utf-8")
+        h = hashlib.blake2b(digest_size=20)
+        for column in (trace.timestamps, trace.lbas, trace.sizes, trace.ops):
+            h.update(memoryview(np.ascontiguousarray(column)))
+        if trace.has_device_times:
+            h.update(memoryview(np.ascontiguousarray(trace.issues)))
+            h.update(memoryview(np.ascontiguousarray(trace.completes)))
+        return h.digest()
+
+    def test_old_and_new_digests_identical(self):
+        from repro.trace.io.fingerprint import trace_digest
+
+        for seed in range(5):
+            trace = _trace(seed=seed)
+            assert trace_digest(trace) == self._legacy_digest(trace)
+
+    def test_old_and_new_digests_identical_with_device_stamps(self):
+        from repro.trace.io.fingerprint import trace_digest
+
+        trace = _trace(seed=3)
+        stamped = BlockTrace(
+            timestamps=trace.timestamps,
+            lbas=trace.lbas,
+            sizes=trace.sizes,
+            ops=trace.ops,
+            issues=trace.timestamps + 0.25,
+            completes=trace.timestamps + 2.0,
+        )
+        assert trace_digest(stamped) == self._legacy_digest(stamped)
+        assert trace_digest(stamped) != trace_digest(trace)
+
+    def test_inference_helper_delegates_to_hoisted_function(self):
+        from repro.trace.io.fingerprint import TRACE_DIGEST_SIZE, trace_digest
+
+        trace = _trace(seed=4)
+        assert _trace_digest(trace) == trace_digest(trace)
+        assert len(trace_digest(trace)) == TRACE_DIGEST_SIZE
+
+    def test_stamped_trace_short_circuits_both(self):
+        from repro.trace.io.fingerprint import trace_digest
+
+        trace = _trace(seed=5)
+        trace.content_fingerprint = "store:deadbeef"
+        assert trace_digest(trace) == b"store:deadbeef"
+        assert self._legacy_digest(trace) == b"store:deadbeef"
