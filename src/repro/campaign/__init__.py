@@ -20,7 +20,13 @@ layer that makes that practical at scale:
   without recomputing anything;
 - :mod:`~repro.campaign.results` — :class:`ResultsTable`, the columnar
   aggregate consumed by the ``repro-campaign`` CLI and the reporting
-  helpers.
+  helpers;
+- :mod:`~repro.campaign.supervise` — the fault-tolerance substrate:
+  retry/backoff policies with a transient-vs-permanent error taxonomy,
+  per-point wall-clock timeouts, poison-point quarantine, the
+  heartbeat-and-lease :class:`SupervisedExecutor` behind the
+  ``supervised`` scheduler, and the deterministic chaos-injection
+  harness the ``tests/chaos`` suite drives.
 
 The paper figures that sweep the workload catalog
 (:func:`~repro.experiments.figures.fig13_intt_gap` and friends) are
@@ -34,18 +40,38 @@ from .engine import CampaignEngine, CampaignResult, run_campaign
 from .plan import CampaignPlan, RunPoint, expand, run_key
 from .results import ResultsTable
 from .spec import CampaignSpec, DeviceSpec, load_spec, loads_spec
+from .supervise import (
+    ChaosSpec,
+    PermanentPointError,
+    PointTimeout,
+    Resilience,
+    RetryPolicy,
+    SupervisedExecutor,
+    SupervisionError,
+    TransientPointError,
+    classify_error,
+)
 
 __all__ = [
     "CampaignEngine",
     "CampaignPlan",
     "CampaignResult",
     "CampaignSpec",
+    "ChaosSpec",
     "DEVICE_KINDS",
     "DEVICE_PRESETS",
     "DeviceSpec",
+    "PermanentPointError",
+    "PointTimeout",
+    "Resilience",
     "ResultsTable",
+    "RetryPolicy",
     "RunPoint",
+    "SupervisedExecutor",
+    "SupervisionError",
+    "TransientPointError",
     "build_device",
+    "classify_error",
     "expand",
     "load_spec",
     "loads_spec",

@@ -33,6 +33,7 @@ from .engine import CHECKPOINT_FORMATS, SCHEDULERS, CampaignEngine, _scan_checkp
 from .plan import expand, run_key
 from .results import ResultsTable
 from .spec import CampaignSpec, load_spec
+from .supervise import ChaosSpec, Resilience, RetryPolicy
 
 __all__ = ["main"]
 
@@ -42,12 +43,41 @@ def default_out_dir(spec: CampaignSpec) -> Path:
     return Path("campaign-out") / spec.name
 
 
+def _resilience_from_args(args: argparse.Namespace) -> "Resilience | None":
+    """Build the engine's fault policy from the run flags.
+
+    ``None`` (no resilience flags given) keeps the historical
+    raise-through contract.  ``--chaos`` forces the supervised
+    scheduler's worker isolation, so it implies a policy even when the
+    retry knobs are left at their defaults.
+    """
+    if (
+        args.retries is None
+        and args.point_timeout is None
+        and args.chaos is None
+    ):
+        return None
+    retry = RetryPolicy() if args.retries is None else RetryPolicy(max_attempts=args.retries)
+    return Resilience(
+        retry=retry,
+        point_timeout_s=args.point_timeout,
+        chaos=ChaosSpec.parse(args.chaos) if args.chaos else None,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     if args.limit is not None:
         spec = spec.with_limit(args.limit)
     out_dir = Path(args.out_dir) if args.out_dir else default_out_dir(spec)
     perf = PerfRecorder(enabled=args.perf)
+    resilience = _resilience_from_args(args)
+    scheduler = args.scheduler
+    if args.chaos and scheduler != "supervised":
+        # Chaos kills workers; only the supervised scheduler survives
+        # that, so injecting into a bare pool would just crash the run.
+        scheduler = "supervised"
+        print("[campaign] --chaos forces --scheduler supervised", file=sys.stderr)
     engine = CampaignEngine(
         spec,
         out_dir=out_dir,
@@ -56,9 +86,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_store_dir=args.trace_store_dir,
         resume=not args.no_resume,
         checkpoint_format=args.checkpoint_format,
-        scheduler=args.scheduler,
+        scheduler=scheduler,
         lake=args.lake,
         perf=perf,
+        resilience=resilience,
+        hang_timeout_s=args.hang_timeout,
+        respawn_budget=args.respawn_budget,
     )
     result = engine.run(log=None if args.quiet else sys.stderr)
     if args.perf:
@@ -69,6 +102,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"campaign {spec.name!r}: {len(result.plan)} point(s) "
         f"({result.n_resumed} resumed, {result.n_computed} computed{lake_note})"
     )
+    if result.n_quarantined:
+        print(
+            f"quarantined: {result.n_quarantined} point(s) exhausted their "
+            f"retry budget (rows carry status/error/attempts)"
+        )
+    if result.n_degraded:
+        print(f"degraded: {result.n_degraded} absorbed failure(s), see {out_dir / 'degraded.log'}")
     print(f"results: {out_dir / 'results.csv'}")
     print(f"report:  {out_dir / 'report.md'}")
     return 0
@@ -107,11 +147,31 @@ def _partial_table(out_dir: Path) -> tuple[ResultsTable, int, int] | None:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+    import zipfile
+
     out_dir = Path(args.out_dir)
     table_path = out_dir / "results.npz"
+    table = None
     if table_path.exists():
-        table = ResultsTable.load_npz(table_path)
-    else:
+        try:
+            table = ResultsTable.load_npz(table_path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            # A truncated/corrupt aggregate is not fatal: quarantine it
+            # and rebuild the table from the per-point checkpoints (the
+            # durable source of truth).
+            bad = table_path.with_name(table_path.name + ".bad")
+            try:
+                os.replace(table_path, bad)
+                note = f"moved to {bad.name}"
+            except OSError:
+                note = "left in place"
+            print(
+                f"warning: corrupt results.npz ({type(exc).__name__}: {exc}); "
+                f"{note}, rebuilding from checkpoints",
+                file=sys.stderr,
+            )
+    if table is None:
         partial = _partial_table(out_dir)
         if partial is None or len(partial[0]) == 0:
             print(f"no campaign results under {out_dir}", file=sys.stderr)
@@ -157,7 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--scheduler", choices=SCHEDULERS, default="stealing",
-        help="dynamic chunk queue pulled by idle workers (default) or static round-robin shards",
+        help="dynamic chunk queue pulled by idle workers (default), static "
+        "round-robin shards, or supervised (heartbeats, lease reclaim, respawn)",
     )
     run.add_argument(
         "--lake", default=None,
@@ -167,6 +228,30 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--perf", action="store_true",
         help="print plan/resume/compute/aggregate stage timings to stderr",
+    )
+    run.add_argument(
+        "--retries", type=int, default=None,
+        help="total attempts per point before quarantine (enables the "
+        "retry/backoff/quarantine policy; default: off, failures raise)",
+    )
+    run.add_argument(
+        "--point-timeout", type=float, default=None,
+        help="per-point wall-clock budget in seconds (a hung point raises "
+        "a transient timeout and retries; enables the retry policy)",
+    )
+    run.add_argument(
+        "--hang-timeout", type=float, default=30.0,
+        help="supervised scheduler: heartbeat staleness (s) before a "
+        "worker is declared hung and its lease reclaimed (default 30)",
+    )
+    run.add_argument(
+        "--respawn-budget", type=int, default=None,
+        help="supervised scheduler: total replacement workers (default 2x jobs)",
+    )
+    run.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. 'kill@3,hang@5,exc@2,"
+        "poison@7,corrupt@4' (kind@plan-index); forces --scheduler supervised",
     )
     run.add_argument("--quiet", action="store_true", help="suppress progress logging")
     run.set_defaults(func=_cmd_run)

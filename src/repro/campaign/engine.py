@@ -59,6 +59,12 @@ from ..workloads.materialize import collect_trace_cached
 from .plan import CampaignPlan, RunPoint, expand
 from .results import ResultsTable
 from .spec import CampaignSpec
+from .supervise import (
+    QUARANTINED,
+    Resilience,
+    SupervisedExecutor,
+    run_point_resilient,
+)
 
 __all__ = [
     "CHECKPOINT_FORMATS",
@@ -322,8 +328,11 @@ def run_point(spec: CampaignSpec, point: RunPoint) -> dict[str, Any]:
 #: Valid values of ``CampaignEngine(checkpoint_format=...)``.
 CHECKPOINT_FORMATS = ("segments", "json")
 
-#: Valid values of ``CampaignEngine(scheduler=...)``.
-SCHEDULERS = ("stealing", "static")
+#: Valid values of ``CampaignEngine(scheduler=...)``.  ``"supervised"``
+#: is the stealing chunk queue run under worker supervision
+#: (:class:`~repro.campaign.supervise.SupervisedExecutor`): heartbeats,
+#: dead/hung-worker detection, lease reclaim, and respawn.
+SCHEDULERS = ("stealing", "static", "supervised")
 
 _SEGMENT_PREFIX = "segment-"
 _SEGMENT_SUFFIX = ".jsonl"
@@ -386,6 +395,45 @@ class _SegmentWriter:
             self._handle = None
 
 
+def _degraded_note(out_dir: Path | None, message: str) -> None:
+    """Append one line to the campaign's degradation log (best-effort).
+
+    ``degraded.log`` is the visible trail of everything the engine
+    survived instead of raising — lake write failures, quarantined
+    corrupt checkpoint files — and :class:`CampaignEngine` reports its
+    line count as :attr:`CampaignResult.n_degraded`.  A failure to log
+    must itself never fail the campaign.
+    """
+    if out_dir is None:
+        return
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        with open(out_dir / "degraded.log", "a", encoding="utf-8") as handle:
+            handle.write(message.rstrip("\n") + "\n")
+    except OSError:
+        pass
+
+
+def _quarantine_file(path: Path, out_dir: Path | None = None, reason: str = "") -> bool:
+    """Rename a corrupt artifact to ``<name>.bad`` (best-effort).
+
+    The sidecar name keeps the bytes around for a post-mortem while
+    taking the file out of every scan pattern (``.json``, ``.jsonl``,
+    ``.npz``), so the next resume or rebuild recomputes instead of
+    raising.  Returns whether the rename happened (a read-only tree —
+    e.g. a lake rescan over an archive — degrades to skip-in-place).
+    """
+    target = path.with_name(path.name + ".bad")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return False
+    _degraded_note(
+        out_dir, f"quarantined corrupt checkpoint {path.name} -> {target.name}: {reason}"
+    )
+    return True
+
+
 def _valid_row(data: Any, key: str | None = None) -> dict[str, Any] | None:
     """The checkpoint payload's row, or ``None`` when malformed."""
     if not isinstance(data, dict) or "row" not in data:
@@ -444,20 +492,32 @@ def _scan_checkpoints_meta(
     for name in segments:
         try:
             text = (runs_dir / name).read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            # Not even text: bad disk or foreign bytes.  Quarantine the
+            # whole file; its points recompute.
+            _quarantine_file(runs_dir / name, out_dir, "undecodable bytes")
+            continue
         except OSError:
             continue
         mtime = entries[name]
+        parsed_any = False
         for line in text.splitlines():
             try:
                 data = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn final line of a killed shard
+            parsed_any = True
             row = _valid_row(data)
             if row is None or data["key"] not in wanted:
                 continue
             previous = best.get(data["key"])
             if previous is None or mtime >= previous[0]:
                 best[data["key"]] = (mtime, row, _wall_s_of(data), name)
+        if text.strip() and not parsed_any:
+            # Not one line decodes: the segment is corrupt from byte 0
+            # (bad disk, torn single-row file), not merely torn at the
+            # tail.  Quarantine it so its points recompute.
+            _quarantine_file(runs_dir / name, out_dir, "no decodable segment lines")
     for key in keys:
         name = f"{key}.json"
         mtime = entries.get(name)
@@ -466,13 +526,23 @@ def _scan_checkpoints_meta(
         previous = best.get(key)
         if previous is not None and previous[0] > mtime:
             continue
+        path = _checkpoint_path(out_dir, key)
         try:
-            data = json.loads(_checkpoint_path(out_dir, key).read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # Corrupt or truncated per-point checkpoint: quarantine to
+            # ``<key>.json.bad`` and leave the key un-resumed, so the
+            # point re-queues instead of the resume raising (or the
+            # corruption silently shadowing an older good row).
+            _quarantine_file(path, out_dir, f"undecodable JSON ({exc})")
+            continue
+        except OSError:
             continue
         row = _valid_row(data, key)
-        if row is not None:
-            best[key] = (mtime, row, _wall_s_of(data), name)
+        if row is None:
+            _quarantine_file(path, out_dir, "malformed checkpoint payload")
+            continue
+        best[key] = (mtime, row, _wall_s_of(data), name)
     return {key: (row, wall_s, name) for key, (_, row, wall_s, name) in best.items()}
 
 
@@ -542,9 +612,12 @@ def _record_into_lake(
 ) -> None:
     """Best-effort lake recording of one completed point.
 
-    A full disk or a read-only catalog must never fail the campaign
+    A full disk, a locked database that outlasts the catalog's own
+    bounded retry, or a read-only catalog must never fail the campaign
     that computed the point — the checkpoint on disk already has it,
-    and the next ``repro-lake ingest`` will pick it up.
+    and the next ``repro-lake ingest`` will pick it up.  Every swallow
+    leaves a line in ``degraded.log`` so the fallback is visible, not
+    silent.
     """
     import sqlite3
 
@@ -560,18 +633,56 @@ def _record_into_lake(
             source_dir=out_dir,
             checkpoint_file=checkpoint_file,
         )
-    except (sqlite3.Error, OSError):
-        pass
+    except (sqlite3.Error, OSError) as exc:
+        _degraded_note(
+            out_dir,
+            f"lake record failed for {key} ({type(exc).__name__}: {exc}); "
+            f"flat-file checkpoint retained",
+        )
 
 
 def _unpack_context(
     context: tuple[Any, ...],
-) -> tuple[dict[str, Any], str | None, str, str | None]:
-    """``(spec dict, out dir, checkpoint format, lake path)`` from a
-    worker context tuple; the lake slot is optional for callers built
-    before the lake existed."""
+) -> tuple[dict[str, Any], str | None, str, str | None, Resilience | None]:
+    """``(spec dict, out dir, checkpoint format, lake path, resilience)``
+    from a worker context tuple; the lake and resilience slots are
+    optional for callers built before those layers existed."""
     spec_dict, out_dir_text, checkpoint_format, *rest = context
-    return spec_dict, out_dir_text, checkpoint_format, rest[0] if rest else None
+    lake_text = rest[0] if rest else None
+    resilience_dict = rest[1] if len(rest) > 1 else None
+    resilience = (
+        Resilience.from_dict(resilience_dict) if resilience_dict is not None else None
+    )
+    return spec_dict, out_dir_text, checkpoint_format, lake_text, resilience
+
+
+def _execute_point(
+    spec: CampaignSpec,
+    plan: CampaignPlan,
+    index: int,
+    key: str,
+    resilience: Resilience | None,
+    injector: Any,
+) -> tuple[dict[str, Any], float, bool]:
+    """Run one grid point under the worker's fault policy.
+
+    Returns ``(row, wall_s, quarantined)``.  With no resilience
+    configured this is the historical behaviour — the point's exception
+    propagates and kills the shard.  With one, transient failures retry
+    with backoff and exhausted/permanent failures come back as
+    quarantine rows (see :func:`~repro.campaign.supervise.
+    run_point_resilient`).  ``run_point`` is resolved through the
+    module at call time so test instrumentation (and hot patching) of
+    ``engine.run_point`` is honoured.
+    """
+    start = time.perf_counter()
+    if resilience is None:
+        row, quarantined = run_point(spec, plan.points[index]), False
+    else:
+        row, quarantined = run_point_resilient(
+            run_point, spec, plan.points[index], index, key, resilience, injector
+        )
+    return row, round(time.perf_counter() - start, 6), quarantined
 
 
 def _run_shard(
@@ -591,28 +702,34 @@ def _run_shard(
     when a lake is configured, recorded into the catalog with its
     measured wall time.
     """
-    spec_dict, out_dir_text, checkpoint_format, lake_text = _unpack_context(context)
+    spec_dict, out_dir_text, checkpoint_format, lake_text, resilience = _unpack_context(context)
     spec = CampaignSpec.from_dict(spec_dict)
     plan = expand(spec)
     out_dir = Path(out_dir_text) if out_dir_text else None
     lake = _worker_lake(lake_text)
+    injector = resilience.injector() if resilience is not None else None
     segment = _SegmentWriter(out_dir) if (
         out_dir is not None and checkpoint_format == "segments"
     ) else None
     results: list[tuple[str, dict[str, Any]]] = []
     try:
         for index, key in items:
-            start = time.perf_counter()
-            row = run_point(spec, plan.points[index])
-            wall_s = round(time.perf_counter() - start, 6)
+            row, wall_s, quarantined = _execute_point(
+                spec, plan, index, key, resilience, injector
+            )
             checkpoint_file: str | None = None
+            checkpoint_path: Path | None = None
             if segment is not None:
                 segment.append(key, row, wall_s=wall_s)
+                checkpoint_path = segment.path
                 checkpoint_file = segment.path.name if segment.path else None
             elif out_dir is not None:
                 _write_checkpoint(out_dir, key, row, wall_s=wall_s)
+                checkpoint_path = _checkpoint_path(out_dir, key)
                 checkpoint_file = f"{key}.json"
-            if lake is not None:
+            if injector is not None:
+                injector.after_checkpoint(index, checkpoint_path)
+            if lake is not None and not quarantined:
                 _record_into_lake(lake, spec, key, row, wall_s, out_dir, checkpoint_file)
             results.append((key, row))
     finally:
@@ -647,7 +764,7 @@ def _run_chunk(
     flushed, so the handle is crash-equivalent to the shard path's and
     the checkpoint is complete the moment the line hits the file.
     """
-    spec_dict, out_dir_text, checkpoint_format, lake_text = _unpack_context(context)
+    spec_dict, out_dir_text, checkpoint_format, lake_text, resilience = _unpack_context(context)
     spec_key = json.dumps(spec_dict, sort_keys=True)
     cached = _CHUNK_PLANS.get(spec_key)
     if cached is None:
@@ -658,6 +775,7 @@ def _run_chunk(
     spec, plan = cached
     out_dir = Path(out_dir_text) if out_dir_text else None
     lake = _worker_lake(lake_text)
+    injector = resilience.injector() if resilience is not None else None
     segment = None
     if out_dir is not None and checkpoint_format == "segments":
         seg_key = (str(out_dir), checkpoint_format)
@@ -666,17 +784,22 @@ def _run_chunk(
             segment = _CHUNK_SEGMENTS.setdefault(seg_key, _SegmentWriter(out_dir))
     results: list[tuple[str, dict[str, Any]]] = []
     for index, key in items:
-        start = time.perf_counter()
-        row = run_point(spec, plan.points[index])
-        wall_s = round(time.perf_counter() - start, 6)
+        row, wall_s, quarantined = _execute_point(
+            spec, plan, index, key, resilience, injector
+        )
         checkpoint_file: str | None = None
+        checkpoint_path: Path | None = None
         if segment is not None:
             segment.append(key, row, wall_s=wall_s)
+            checkpoint_path = segment.path
             checkpoint_file = segment.path.name if segment.path else None
         elif out_dir is not None:
             _write_checkpoint(out_dir, key, row, wall_s=wall_s)
+            checkpoint_path = _checkpoint_path(out_dir, key)
             checkpoint_file = f"{key}.json"
-        if lake is not None:
+        if injector is not None:
+            injector.after_checkpoint(index, checkpoint_path)
+        if lake is not None and not quarantined:
             _record_into_lake(lake, spec, key, row, wall_s, out_dir, checkpoint_file)
         results.append((key, row))
     return results
@@ -695,6 +818,12 @@ class CampaignResult:
     checkpoints; ``n_lake_hits`` counts points skipped because *some
     prior campaign* — any directory, any machine sharing the catalog —
     already recorded their run keys in the result lake.
+    ``n_quarantined`` counts rows carrying ``status: "quarantined"``
+    (points that exhausted their retry budget); ``n_degraded`` counts
+    the ``degraded.log`` lines — failures the run absorbed (lake
+    fallbacks, quarantined corrupt checkpoint files) instead of
+    raising.  ``supervision`` holds the supervised scheduler's
+    dead/hung/respawned/reclaimed counters (``None`` off that path).
     """
 
     table: ResultsTable
@@ -703,6 +832,9 @@ class CampaignResult:
     n_resumed: int
     out_dir: Path | None
     n_lake_hits: int = 0
+    n_quarantined: int = 0
+    n_degraded: int = 0
+    supervision: dict[str, int] | None = None
 
 
 class CampaignEngine:
@@ -747,10 +879,29 @@ class CampaignEngine:
         point delays only its own chunk, so skewed grids finish at the
         speed of the work, not of the unluckiest shard.  ``"static"``
         is the original round-robin pre-assignment of one shard per
-        worker.  Both produce identical rows and identical per-point
-        checkpoints (resume is scheduler-agnostic: run keys do not
-        know how points were dispatched); with ``jobs=1`` both run
-        inline as a single shard.
+        worker.  ``"supervised"`` is the stealing queue run under
+        worker supervision: every worker beats a heartbeat file at
+        each point boundary, and a supervisor loop in the parent
+        SIGKILLs hung workers, reclaims dead workers' leased chunks
+        (salvaging their checkpointed points), and respawns
+        replacements up to ``respawn_budget`` — and it always runs
+        workers out-of-process, even with ``jobs=1``, so a worker
+        death never takes the campaign down.  All three produce
+        identical rows and identical per-point checkpoints (resume is
+        scheduler-agnostic: run keys do not know how points were
+        dispatched); with ``jobs=1`` the first two run inline as a
+        single shard.
+    resilience:
+        Optional :class:`~repro.campaign.supervise.Resilience` — the
+        per-point fault policy (retry/backoff on transient failures,
+        wall-clock point timeouts, poison-point quarantine, chaos
+        injection).  ``None`` (default) keeps the historical contract:
+        a grid point's exception propagates and fails the run.
+    hang_timeout_s / respawn_budget:
+        Supervised-scheduler knobs: the heartbeat staleness that
+        declares a worker hung (must exceed the slowest legitimate
+        point), and the total replacement workers the run may spawn
+        (default ``2 * jobs``).
     perf:
         Optional :class:`~repro.perf.PerfRecorder`; when given, the
         engine times its ``plan``/``resume_scan``/``compute``/
@@ -769,6 +920,9 @@ class CampaignEngine:
         scheduler: str = "stealing",
         lake: "str | Path | None" = None,
         perf: "PerfRecorder | None" = None,
+        resilience: "Resilience | None" = None,
+        hang_timeout_s: float = 30.0,
+        respawn_budget: int | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -790,6 +944,26 @@ class CampaignEngine:
         self.scheduler = scheduler
         self.lake = Path(lake) if lake is not None else None
         self.perf = perf if perf is not None else PerfRecorder(enabled=False)
+        if (
+            resilience is not None
+            and resilience.chaos is not None
+            and resilience.chaos.injections
+        ):
+            if self.out_dir is None:
+                raise ValueError(
+                    "chaos injection needs an out_dir (fire-once markers live there)"
+                )
+            if resilience.chaos_dir is None:
+                from dataclasses import replace
+
+                resilience = replace(
+                    resilience, chaos_dir=str(self.out_dir / ".chaos")
+                )
+        self.resilience = resilience
+        if hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be positive")
+        self.hang_timeout_s = hang_timeout_s
+        self.respawn_budget = respawn_budget
 
     def run(self, log: TextIO | None = None) -> CampaignResult:
         """Execute the campaign; returns the aggregated results.
@@ -837,13 +1011,36 @@ class CampaignEngine:
             # report` and `repro-lake ingest` recognise a campaign by.
             self.out_dir.mkdir(parents=True, exist_ok=True)
             self._write_spec_once()
+        supervision: dict[str, int] | None = None
         if pending:
             out_dir_text = str(self.out_dir) if self.out_dir is not None else None
             lake_text = str(self.lake) if self.lake is not None else None
             # The spec dict ships once per worker (map's context
             # initializer), not once per shard task.
-            context = (self.spec.to_dict(), out_dir_text, self.checkpoint_format, lake_text)
-            if self.scheduler == "stealing" and self.jobs > 1:
+            resilience_dict = (
+                self.resilience.to_dict() if self.resilience is not None else None
+            )
+            context = (
+                self.spec.to_dict(),
+                out_dir_text,
+                self.checkpoint_format,
+                lake_text,
+                resilience_dict,
+            )
+            if self.scheduler == "supervised":
+                start = time.perf_counter()
+                with self.perf.stage("compute"):
+                    supervision = self._run_supervised(plan, keys, pending, context, completed)
+                for name, value in supervision.items():
+                    self.perf.count(f"supervise_{name}", value)
+                if log is not None:
+                    log.write(
+                        f"[campaign] computed {len(pending)} point(s) in "
+                        f"{time.perf_counter() - start:.1f}s "
+                        f"(dead={supervision['dead']}, hung={supervision['hung']}, "
+                        f"respawned={supervision['respawned']})\n"
+                    )
+            elif self.scheduler == "stealing" and self.jobs > 1:
                 # Many small contiguous chunks on the pool's task
                 # queue; idle workers pull the next chunk as they
                 # finish.  ~4 chunks per worker bounds the tail (the
@@ -857,27 +1054,38 @@ class CampaignEngine:
                 n_shards = min(len(pending), self.jobs) if self.jobs > 1 else 1
                 parts = plan.shards(n_shards, indices=pending)
                 worker = _run_shard
-            tasks = [[(i, keys[i]) for i in part] for part in parts]
-            runner = ParallelRunner(
-                jobs=self.jobs,
-                use_cache=False,
-                use_trace_store=self.use_trace_store,
-                trace_store_dir=self.trace_store_dir,
-            )
-            start = time.perf_counter()
-            with self.perf.stage("compute"):
-                for part_results in runner.map(worker, tasks, context=context):
-                    completed.update(part_results)
-            if log is not None:
-                log.write(
-                    f"[campaign] computed {len(pending)} point(s) in "
-                    f"{time.perf_counter() - start:.1f}s\n"
+            if self.scheduler != "supervised":
+                tasks = [[(i, keys[i]) for i in part] for part in parts]
+                runner = ParallelRunner(
+                    jobs=self.jobs,
+                    use_cache=False,
+                    use_trace_store=self.use_trace_store,
+                    trace_store_dir=self.trace_store_dir,
                 )
+                start = time.perf_counter()
+                with self.perf.stage("compute"):
+                    for part_results in runner.map(worker, tasks, context=context):
+                        completed.update(part_results)
+                if log is not None:
+                    log.write(
+                        f"[campaign] computed {len(pending)} point(s) in "
+                        f"{time.perf_counter() - start:.1f}s\n"
+                    )
         with self.perf.stage("aggregate"):
             table = ResultsTable.from_rows([completed[key] for key in keys])
             if self.out_dir is not None:
                 self._write_outputs(table, n_resumed=n_resumed, n_computed=len(pending))
                 self._record_results_artifacts()
+        n_quarantined = sum(
+            1 for key in keys if completed[key].get("status") == QUARANTINED
+        )
+        n_degraded = self._count_degraded()
+        if log is not None and (n_quarantined or n_degraded):
+            log.write(
+                f"[campaign] degraded finish: {n_quarantined} quarantined point(s), "
+                f"{n_degraded} degradation event(s) — see "
+                f"{'degraded.log in ' + str(self.out_dir) if self.out_dir else 'log'}\n"
+            )
         return CampaignResult(
             table=table,
             plan=plan,
@@ -885,7 +1093,99 @@ class CampaignEngine:
             n_resumed=n_resumed,
             out_dir=self.out_dir,
             n_lake_hits=n_lake_hits,
+            n_quarantined=n_quarantined,
+            n_degraded=n_degraded,
+            supervision=supervision,
         )
+
+    def _run_supervised(
+        self,
+        plan: CampaignPlan,
+        keys: list[str],
+        pending: list[int],
+        context: tuple[Any, ...],
+        completed: dict[str, dict[str, Any]],
+    ) -> dict[str, int]:
+        """Execute the pending points under the supervised executor.
+
+        Chunking matches the stealing scheduler (so scheduler choice
+        never changes results, only failure behaviour); workers are
+        always real processes — even at ``jobs=1`` — so an injected or
+        organic worker death never takes the parent down with it.
+        Returns the executor's supervision counters.
+        """
+        import functools
+        import tempfile
+
+        from ..experiments.runner import _worker_init_trace_store
+
+        chunk = max(1, min(32, -(-len(pending) // (self.jobs * 4))))
+        parts = plan.chunks(chunk, indices=pending)
+        tasks = [[(i, keys[i]) for i in part] for part in parts]
+        if self.out_dir is not None:
+            hearts_dir = self.out_dir / ".supervise"
+        else:
+            hearts_dir = Path(tempfile.mkdtemp(prefix="repro-supervise-"))
+        initializer = None
+        if self.use_trace_store:
+            store_dir = (
+                Path(self.trace_store_dir)
+                if self.trace_store_dir is not None
+                else None
+            )
+            if store_dir is None:
+                from ..trace.io.cache import default_trace_store_dir
+
+                store_dir = default_trace_store_dir()
+            initializer = functools.partial(_worker_init_trace_store, str(store_dir))
+        executor = SupervisedExecutor(
+            jobs=self.jobs,
+            worker_fn=_run_chunk,
+            context=context,
+            hearts_dir=hearts_dir,
+            hang_timeout_s=self.hang_timeout_s,
+            respawn_budget=self.respawn_budget,
+            reclaim=self._reclaim_chunk,
+            initializer=initializer,
+        )
+        for payload in executor.run(tasks):
+            completed.update(payload)
+        return dict(executor.stats)
+
+    def _reclaim_chunk(
+        self, items: list[tuple[int, str]]
+    ) -> tuple[list[tuple[str, dict[str, Any]]], list[tuple[int, str]]]:
+        """Salvage a reclaimed lease: checkpointed points stay done.
+
+        A dead worker checkpointed every point it finished before dying
+        (both checkpoint formats flush per point), so a rescan of this
+        chunk's run keys recovers them without recomputation — the
+        acceptance bar for supervisor recovery.  Whatever the scan does
+        not find is re-queued.
+        """
+        if self.out_dir is None:
+            return [], list(items)
+        found = _scan_checkpoints(self.out_dir, [key for _, key in items])
+        salvaged = [(key, found[key]) for _, key in items if key in found]
+        remaining = [(i, key) for i, key in items if key not in found]
+        return salvaged, remaining
+
+    def _count_degraded(self) -> int:
+        """How many degradation events this directory has absorbed.
+
+        The count is the ``degraded.log`` line count — one line per
+        swallowed failure (lake fallback, quarantined corrupt artifact)
+        — so it accumulates across resumes of the same directory, which
+        is the honest reading: the directory's history degraded, even
+        if this particular run did not.
+        """
+        if self.out_dir is None:
+            return 0
+        try:
+            with open(self.out_dir / "degraded.log", "r", encoding="utf-8") as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
 
     def _write_spec_once(self) -> None:
         """Record the spec next to the checkpoints, skipping no-op rewrites.

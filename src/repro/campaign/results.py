@@ -91,6 +91,36 @@ class ResultsTable:
             {name: self.columns[name][i] for name in names} for i in range(len(self))
         ]
 
+    def quarantined(self) -> "ResultsTable":
+        """Only the quarantined rows (empty table when there are none)."""
+        if "status" not in self.columns:
+            return ResultsTable({name: [] for name in self.columns})
+        return self.select(status="quarantined")
+
+    def without_quarantined(self) -> "ResultsTable":
+        """The table minus quarantined rows *and* their marker columns.
+
+        Quarantine adds ``status``/``error``/``attempts`` keys that only
+        quarantined rows carry; once those rows are dropped the marker
+        columns are all-``None`` noise, so they are dropped too.  The
+        result of a disturbed-but-recovered campaign therefore compares
+        equal (``==``, column-for-column) to an undisturbed run's table
+        — the chaos harness's oracle property.
+        """
+        if "status" not in self.columns:
+            return ResultsTable(self.columns)
+        keep = [
+            i for i in range(len(self)) if self.columns["status"][i] != "quarantined"
+        ]
+        pruned = {
+            name: [values[i] for i in keep] for name, values in self.columns.items()
+        }
+        for marker in ("status", "error", "attempts"):
+            values = pruned.get(marker)
+            if values is not None and all(v is None for v in values):
+                del pruned[marker]
+        return ResultsTable(pruned)
+
     def select(self, **conditions: Any) -> "ResultsTable":
         """Rows whose columns equal every given value (exact match)."""
         keep = [

@@ -293,12 +293,25 @@ class ParallelRunner:
                 else:
                     initializer, initargs = None, ()
                     call = fn
-                with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(tasks)),
-                    initializer=initializer,
-                    initargs=initargs,
-                ) as pool:
-                    return list(pool.map(call, tasks))
+                from concurrent.futures.process import BrokenProcessPool
+
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(tasks)),
+                        initializer=initializer,
+                        initargs=initargs,
+                    ) as pool:
+                        return list(pool.map(call, tasks))
+                except BrokenProcessPool as exc:
+                    # A SIGKILLed/OOM-killed worker takes the whole pool
+                    # down; the pool cannot say which task died, so all
+                    # this layer can add is the recovery pointer.
+                    raise BrokenProcessPool(
+                        f"{exc} — a worker process died abruptly (OOM killer?); "
+                        f"completed work is already checkpointed by the caller; "
+                        f"campaign runs can use scheduler='supervised' to "
+                        f"reclaim leases and respawn workers instead of failing"
+                    ) from exc
             if context is not None:
                 return [fn(context, task) for task in tasks]
             return [fn(task) for task in tasks]

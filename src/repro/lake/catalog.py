@@ -27,9 +27,11 @@ Schema v1, four tables:
   key some prior campaign already computed, wherever it ran.
 
 Durability: connections run in WAL mode with a busy timeout, every
-mutation is one transaction, and all writes are idempotent upserts —
-a process killed mid-ingest leaves only committed rows, and re-running
-the ingest (or a full ``--rescan``) converges to the same row set.
+mutation is one transaction retried a bounded number of times on lock
+contention (exponential backoff), and all writes are idempotent upserts
+— a process killed mid-ingest leaves only committed rows, and
+re-running the ingest (or a full ``--rescan``) converges to the same
+row set.
 """
 
 from __future__ import annotations
@@ -38,8 +40,9 @@ import hashlib
 import json
 import os
 import sqlite3
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, TypeVar
 
 import numpy as np
 
@@ -120,6 +123,39 @@ CREATE INDEX IF NOT EXISTS idx_points_spec ON campaign_points (spec_fingerprint)
 
 class LakeError(RuntimeError):
     """The catalog cannot be used (wrong schema version, bad database)."""
+
+
+_T = TypeVar("_T")
+
+#: Bounded retry for write transactions that lose the lock race even
+#: after SQLite's own busy timeout (WAL still serialises writers; under
+#: heavy multi-process recording the timeout can expire spuriously).
+_LOCKED_ATTEMPTS = 5
+_LOCKED_BASE_DELAY_S = 0.05
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    """Whether an OperationalError is the transient lock/busy kind."""
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+def _write_with_retry(write: Callable[[], _T]) -> _T:
+    """Run one write transaction, retrying lock contention with backoff.
+
+    Only ``database is locked``/``busy`` errors retry — they are
+    contention, and the colliding transaction will commit and release.
+    Every other ``OperationalError`` (malformed database, read-only
+    file, out of disk) raises immediately: retrying cannot fix it.
+    """
+    for attempt in range(_LOCKED_ATTEMPTS):
+        try:
+            return write()
+        except sqlite3.OperationalError as exc:
+            if not _is_locked(exc) or attempt == _LOCKED_ATTEMPTS - 1:
+                raise
+            time.sleep(_LOCKED_BASE_DELAY_S * 2**attempt)
+    raise AssertionError("unreachable")
 
 
 def spec_fingerprint(spec_dict: dict[str, Any]) -> str:
@@ -230,39 +266,43 @@ class LakeCatalog:
             fingerprint = file_sha256(p)
         size = p.stat().st_size
         text = str(p)
-        with self._conn:
-            stale = [
-                r[0]
-                for r in self._conn.execute(
-                    "SELECT fingerprint FROM artifacts WHERE path = ? AND fingerprint != ?",
-                    (text, fingerprint),
-                )
-            ]
-            for old in stale:
-                self._conn.execute("DELETE FROM artifacts WHERE fingerprint = ?", (old,))
+
+        def _write() -> None:
+            with self._conn:
+                stale = [
+                    r[0]
+                    for r in self._conn.execute(
+                        "SELECT fingerprint FROM artifacts WHERE path = ? AND fingerprint != ?",
+                        (text, fingerprint),
+                    )
+                ]
+                for old in stale:
+                    self._conn.execute("DELETE FROM artifacts WHERE fingerprint = ?", (old,))
+                    self._conn.execute(
+                        "DELETE FROM artifact_refs WHERE fingerprint = ?", (old,)
+                    )
+                    self._conn.execute(
+                        "DELETE FROM trace_features WHERE fingerprint = ?", (old,)
+                    )
                 self._conn.execute(
-                    "DELETE FROM artifact_refs WHERE fingerprint = ?", (old,)
+                    """
+                    INSERT INTO artifacts (fingerprint, kind, path, size_bytes, meta_json)
+                    VALUES (?, ?, ?, ?, ?)
+                    ON CONFLICT(fingerprint) DO UPDATE SET
+                        kind = excluded.kind,
+                        path = MIN(artifacts.path, excluded.path),
+                        size_bytes = excluded.size_bytes,
+                        meta_json = excluded.meta_json
+                    """,
+                    (fingerprint, kind, text, size, _canonical_json(meta or {})),
                 )
-                self._conn.execute(
-                    "DELETE FROM trace_features WHERE fingerprint = ?", (old,)
-                )
-            self._conn.execute(
-                """
-                INSERT INTO artifacts (fingerprint, kind, path, size_bytes, meta_json)
-                VALUES (?, ?, ?, ?, ?)
-                ON CONFLICT(fingerprint) DO UPDATE SET
-                    kind = excluded.kind,
-                    path = MIN(artifacts.path, excluded.path),
-                    size_bytes = excluded.size_bytes,
-                    meta_json = excluded.meta_json
-                """,
-                (fingerprint, kind, text, size, _canonical_json(meta or {})),
-            )
-            if ref is not None:
-                self._conn.execute(
-                    "INSERT OR IGNORE INTO artifact_refs (fingerprint, ref) VALUES (?, ?)",
-                    (fingerprint, ref),
-                )
+                if ref is not None:
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO artifact_refs (fingerprint, ref) VALUES (?, ?)",
+                        (fingerprint, ref),
+                    )
+
+        _write_with_retry(_write)
         return fingerprint
 
     def artifact(self, fingerprint: str) -> dict[str, Any] | None:
@@ -316,23 +356,27 @@ class LakeCatalog:
         vector = trace_feature_vector(trace)
         meta = {"name": trace.name, "n_requests": int(len(trace))}
         fingerprint = self.record_artifact("trace", path, ref=ref, meta=meta)
-        with self._conn:
-            self._conn.execute(
-                """
-                INSERT INTO trace_features (fingerprint, features_version, names_json, vector)
-                VALUES (?, ?, ?, ?)
-                ON CONFLICT(fingerprint) DO UPDATE SET
-                    features_version = excluded.features_version,
-                    names_json = excluded.names_json,
-                    vector = excluded.vector
-                """,
-                (
-                    fingerprint,
-                    FEATURES_VERSION,
-                    _canonical_json(list(feature_names())),
-                    vector.astype(np.float64).tobytes(),
-                ),
-            )
+
+        def _write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    """
+                    INSERT INTO trace_features (fingerprint, features_version, names_json, vector)
+                    VALUES (?, ?, ?, ?)
+                    ON CONFLICT(fingerprint) DO UPDATE SET
+                        features_version = excluded.features_version,
+                        names_json = excluded.names_json,
+                        vector = excluded.vector
+                    """,
+                    (
+                        fingerprint,
+                        FEATURES_VERSION,
+                        _canonical_json(list(feature_names())),
+                        vector.astype(np.float64).tobytes(),
+                    ),
+                )
+
+        _write_with_retry(_write)
         return fingerprint
 
     def feature_matrix(self) -> tuple[list[str], np.ndarray]:
@@ -376,46 +420,49 @@ class LakeCatalog:
         upsert is atomic and last-writer-wins, matching the engine's
         checkpoint overwrite semantics.
         """
-        with self._conn:
-            self._conn.execute(
-                """
-                INSERT INTO campaign_points (
-                    run_key, spec_fingerprint, campaign, action, workload,
-                    device_name, device_kind, method, n_requests, queue_depth,
-                    row_json, source_dir, checkpoint_file, wall_s
-                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                ON CONFLICT(run_key) DO UPDATE SET
-                    spec_fingerprint = excluded.spec_fingerprint,
-                    campaign = excluded.campaign,
-                    action = excluded.action,
-                    workload = excluded.workload,
-                    device_name = excluded.device_name,
-                    device_kind = excluded.device_kind,
-                    method = excluded.method,
-                    n_requests = excluded.n_requests,
-                    queue_depth = excluded.queue_depth,
-                    row_json = excluded.row_json,
-                    source_dir = excluded.source_dir,
-                    checkpoint_file = excluded.checkpoint_file,
-                    wall_s = excluded.wall_s
-                """,
-                (
-                    run_key,
-                    spec_fp,
-                    campaign,
-                    action,
-                    str(row.get("workload", "")),
-                    str(row.get("device", "")),
-                    device_kind,
-                    str(row.get("method", "")),
-                    int(row.get("n_requests", 0)),
-                    queue_depth,
-                    canonical_row_json(row),
-                    source_dir,
-                    checkpoint_file,
-                    wall_s,
-                ),
-            )
+        def _write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    """
+                    INSERT INTO campaign_points (
+                        run_key, spec_fingerprint, campaign, action, workload,
+                        device_name, device_kind, method, n_requests, queue_depth,
+                        row_json, source_dir, checkpoint_file, wall_s
+                    ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    ON CONFLICT(run_key) DO UPDATE SET
+                        spec_fingerprint = excluded.spec_fingerprint,
+                        campaign = excluded.campaign,
+                        action = excluded.action,
+                        workload = excluded.workload,
+                        device_name = excluded.device_name,
+                        device_kind = excluded.device_kind,
+                        method = excluded.method,
+                        n_requests = excluded.n_requests,
+                        queue_depth = excluded.queue_depth,
+                        row_json = excluded.row_json,
+                        source_dir = excluded.source_dir,
+                        checkpoint_file = excluded.checkpoint_file,
+                        wall_s = excluded.wall_s
+                    """,
+                    (
+                        run_key,
+                        spec_fp,
+                        campaign,
+                        action,
+                        str(row.get("workload", "")),
+                        str(row.get("device", "")),
+                        device_kind,
+                        str(row.get("method", "")),
+                        int(row.get("n_requests", 0)),
+                        queue_depth,
+                        canonical_row_json(row),
+                        source_dir,
+                        checkpoint_file,
+                        wall_s,
+                    ),
+                )
+
+        _write_with_retry(_write)
 
     def completed_rows(self, run_keys: list[str]) -> dict[str, dict[str, Any]]:
         """The recorded result rows for the given run keys.

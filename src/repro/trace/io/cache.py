@@ -101,7 +101,10 @@ class TraceStore:
         """The stored trace for ``key``, or ``None`` on a miss.
 
         Corrupt and wrong-version entries count as misses; the caller
-        rebuilds and overwrites them.
+        rebuilds and overwrites them.  A corrupt (truncated, torn)
+        entry is additionally quarantined to ``<entry>.bad`` with a
+        logged warning, so the broken bytes cannot shadow the rebuilt
+        entry and the evidence survives for diagnosis.
         """
         if not self.enabled:
             return None
@@ -111,11 +114,29 @@ class TraceStore:
             return None
         try:
             trace = load_trace_npz(path, mmap=self.mmap)
-        except TraceStoreError:
+        except TraceStoreError as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return trace
+
+    @staticmethod
+    def _quarantine(path: Path, exc: Exception) -> None:
+        """Move a corrupt entry aside (best-effort) and warn about it."""
+        import logging
+
+        bad = path.with_name(path.name + ".bad")
+        try:
+            os.replace(path, bad)
+        except OSError:
+            bad = None  # type: ignore[assignment]
+        logging.getLogger(__name__).warning(
+            "corrupt trace store entry %s (%s); %s — rebuilding from source",
+            path.name,
+            exc,
+            f"quarantined to {bad.name}" if bad is not None else "could not quarantine",
+        )
 
     def save(self, key: str, trace: BlockTrace) -> None:
         """Best-effort store of ``trace`` under ``key``.

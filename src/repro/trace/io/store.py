@@ -8,7 +8,7 @@ the store format version, trace name, and provenance metadata.
 Two properties make the format fit the streaming pipeline:
 
 - **atomic, versioned writes** — files are written to a sibling temp
-  path and ``os.replace``d into place; the embedded
+  path, fsynced, and ``os.replace``d into place; the embedded
   :data:`STORE_FORMAT_VERSION` is checked on load, so a format bump
   can never silently serve stale bytes;
 - **memory-mapped reads** — ``np.savez`` stores members uncompressed,
@@ -79,6 +79,12 @@ def save_trace_npz(trace: BlockTrace, path: str | Path, compress: bool = False) 
                 np.savez_compressed(handle, **arrays)
             else:
                 np.savez(handle, **arrays)
+            # Flush through to the disk before the rename publishes the
+            # file: without the fsync a crash can replace a good entry
+            # with a correctly-named but empty/truncated one, which is
+            # the corruption mode the loaders then have to absorb.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, p)
     finally:
         tmp.unlink(missing_ok=True)

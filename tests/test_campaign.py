@@ -353,3 +353,62 @@ class TestCli:
         assert cli_main(["run", str(missing)]) == 2
         assert cli_main(["report", str(tmp_path)]) == 1
         capsys.readouterr()
+
+
+class TestCliResilience:
+    """Run flags from ISSUE 9: --chaos, quarantine reporting, corrupt
+    aggregate recovery in ``report``."""
+
+    def _write_spec(self, tmp_path: Path, n_points: int = 3) -> Path:
+        spec = CampaignSpec(
+            name="cli-chaos",
+            action="synthetic",
+            workloads=("MSNFS",),
+            devices=(DeviceSpec("new", "new-node"),),
+            methods=("revision",),
+            n_requests=tuple(range(100, 100 + n_points)),
+            options={"iters_per_request": 3},
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        return path
+
+    def test_chaos_forces_supervised_and_recovers(self, tmp_path: Path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert cli_main(
+            ["run", str(spec_path), "--out-dir", str(out), "--no-trace-store",
+             "--quiet", "--jobs", "2", "--chaos", "exc@1", "--retries", "3"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "[campaign] --chaos forces --scheduler supervised" in captured.err
+        assert "3 point(s) (0 resumed, 3 computed)" in captured.out
+        assert "quarantined" not in captured.out  # exc is transient: retried
+
+    def test_poison_quarantine_reported(self, tmp_path: Path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert cli_main(
+            ["run", str(spec_path), "--out-dir", str(out), "--no-trace-store",
+             "--quiet", "--chaos", "poison@1", "--retries", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        # The grepped summary line stays first and intact ...
+        assert "3 point(s) (0 resumed, 3 computed)" in captured.out
+        # ... and the quarantine note follows it.
+        assert "quarantined: 1 point(s)" in captured.out
+
+    def test_report_rebuilds_from_corrupt_aggregate(self, tmp_path: Path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert cli_main(
+            ["run", str(spec_path), "--out-dir", str(out), "--no-trace-store", "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        npz = out / "results.npz"
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+        assert cli_main(["report", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "rebuilding from checkpoints" in captured.err
+        assert (out / "results.npz.bad").exists()
+        assert "| workload |" in captured.out

@@ -687,3 +687,110 @@ class TestLakeCli:
         rc = lake_main(["--db", str(tmp_path / "db"), "ingest", str(tmp_path / "nope")])
         assert rc == 2
         assert "no such path" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Lock-contention retry + multi-process write hammering (ISSUE 9)
+# ----------------------------------------------------------------------
+
+
+def _hammer_points(db: str, worker: int, per_worker: int, shared_key: str) -> None:
+    """Child-process body: record distinct points plus one contended key."""
+    import sqlite3 as _sqlite3
+
+    from repro.lake.catalog import LakeCatalog as _Catalog
+    from repro.lake.ingest import record_campaign_point as _record
+
+    spec = _grid_spec(name="hammer")
+    with _Catalog(db, timeout_s=30.0) as catalog:
+        for i in range(per_worker):
+            _record(
+                catalog,
+                spec,
+                f"w{worker}-point-{i}",
+                _point_row(i, worker=worker),
+                wall_s=0.001 * i,
+            )
+            # Every worker also upserts one shared key: the upsert must
+            # survive the contention, last writer winning.
+            _record(catalog, spec, shared_key, _point_row(worker))
+
+
+class TestWriteRetry:
+    def test_locked_error_retried_until_success(self):
+        from repro.lake.catalog import _write_with_retry
+
+        attempts: list[int] = []
+
+        def flaky() -> str:
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise __import__("sqlite3").OperationalError("database is locked")
+            return "ok"
+
+        assert _write_with_retry(flaky) == "ok"
+        assert len(attempts) == 3
+
+    def test_non_lock_operational_error_raises_immediately(self):
+        import sqlite3 as _sqlite3
+
+        from repro.lake.catalog import _write_with_retry
+
+        attempts: list[int] = []
+
+        def broken() -> None:
+            attempts.append(1)
+            raise _sqlite3.OperationalError("attempt to write a readonly database")
+
+        with pytest.raises(_sqlite3.OperationalError):
+            _write_with_retry(broken)
+        assert len(attempts) == 1
+
+    def test_lock_exhaustion_raises_the_last_error(self):
+        import sqlite3 as _sqlite3
+
+        from repro.lake.catalog import _LOCKED_ATTEMPTS, _write_with_retry
+
+        attempts: list[int] = []
+
+        def always_locked() -> None:
+            attempts.append(1)
+            raise _sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(_sqlite3.OperationalError, match="locked"):
+            _write_with_retry(always_locked)
+        assert len(attempts) == _LOCKED_ATTEMPTS
+
+
+class TestConcurrentRecording:
+    def test_many_processes_record_points_without_loss(self, tmp_path):
+        """Hammer ``record_campaign_point`` from several processes at
+        once: every distinct key lands, the contended key upserts
+        cleanly, and the catalog stays readable throughout."""
+        import multiprocessing
+
+        db = str(tmp_path / "lake.sqlite")
+        LakeCatalog(db).close()  # create the schema up front
+        n_workers, per_worker = 4, 10
+        shared_key = "contended-key"
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_points, args=(db, w, per_worker, shared_key))
+            for w in range(n_workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+
+        with LakeCatalog(db) as catalog:
+            assert catalog.counts()["campaign_points"] == n_workers * per_worker + 1
+            expected = [
+                f"w{w}-point-{i}" for w in range(n_workers) for i in range(per_worker)
+            ]
+            rows = catalog.completed_rows(expected + [shared_key])
+            assert set(rows) == set(expected) | {shared_key}
+            # The contended row is one worker's intact payload, not a blend.
+            winner = rows[shared_key]
+            assert winner == _point_row(int(winner["metric"]))

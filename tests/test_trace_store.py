@@ -147,6 +147,30 @@ class TestTraceStore:
         assert_identical(rebuilt, trace)
         assert store.load(key) is not None  # overwritten with good bytes
 
+    def test_truncated_entry_quarantined_and_rebuilt(self, tmp_path, caplog):
+        """Regression (ISSUE 9): a partially written entry — the bytes a
+        crash between write and fsync can leave — is quarantined to
+        ``<entry>.bad`` with a logged warning and rebuilt from source."""
+        import logging
+
+        store = TraceStore(root=tmp_path / "cache")
+        trace = make_trace()
+        key = store.key_for("k")
+        store.save(key, trace)
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        with caplog.at_level(logging.WARNING, logger="repro.trace.io.cache"):
+            assert store.load(key) is None
+        bad = path.with_name(path.name + ".bad")
+        assert bad.exists() and not path.exists()
+        assert any("rebuilding from source" in r.message for r in caplog.records)
+
+        rebuilt = store.get_or_build(key, lambda: trace)
+        assert_identical(rebuilt, trace)
+        assert store.load(key) is not None  # fresh good bytes in place
+        assert bad.exists()  # the evidence survives the rebuild
+
     def test_disabled_store_never_touches_disk(self, tmp_path):
         store = TraceStore(root=tmp_path / "cache", enabled=False)
         trace = make_trace()
