@@ -39,6 +39,9 @@ Subpackages
 ``repro.campaign``
     Declarative device x workload sweep campaigns with resumable
     sharded execution (``repro-campaign``).
+``repro.service``
+    Always-on streaming reconstruction daemon with backpressure,
+    crash recovery, and poison-record quarantine (``repro-serve``).
 """
 
 from .campaign import (

@@ -14,7 +14,9 @@ the resilience substrate threaded through
   transient failures into bounded exponential backoff with
   *deterministic* jitter (hashed from the run key and attempt number,
   so reruns sleep the same schedule and tests need no randomness
-  control).
+  control).  Both now live in :mod:`repro.resilience` — shared with
+  the streaming service — and are re-exported here so historical
+  import paths keep working.
 - **per-point wall-clock timeouts** — :func:`time_limit` arms a real
   interval timer around each point; a hung computation raises
   :class:`PointTimeout` (transient) instead of stalling its worker
@@ -49,18 +51,27 @@ monitor.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import queue
 import signal
-import sqlite3
-import threading
 import time
 from collections import deque
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
+
+from ..resilience import (
+    PermanentPointError,
+    PointTimeout,
+    RetryPolicy,
+    TransientPointError,
+    classify_error,
+    heartbeat_age_s,
+    retry_call,
+    time_limit,
+    write_heartbeat,
+)
 
 __all__ = [
     "CHAOS_KINDS",
@@ -76,9 +87,12 @@ __all__ = [
     "SupervisionError",
     "TransientPointError",
     "classify_error",
+    "heartbeat_age_s",
     "quarantine_row",
+    "retry_call",
     "run_point_resilient",
     "time_limit",
+    "write_heartbeat",
 ]
 
 #: The ``status`` value a quarantined point's row carries.
@@ -89,20 +103,8 @@ QUARANTINE_COLUMNS = ("status", "error", "attempts")
 
 
 # ----------------------------------------------------------------------
-# Error taxonomy
+# Campaign-specific error types
 # ----------------------------------------------------------------------
-
-
-class TransientPointError(RuntimeError):
-    """A point failure worth retrying (environment, not computation)."""
-
-
-class PermanentPointError(RuntimeError):
-    """A point failure retrying cannot fix (the computation is wrong)."""
-
-
-class PointTimeout(TransientPointError):
-    """A point exceeded its wall-clock budget (hang or pathological cost)."""
 
 
 class ChaosError(TransientPointError):
@@ -111,162 +113,6 @@ class ChaosError(TransientPointError):
 
 class SupervisionError(RuntimeError):
     """The supervisor ran out of workers/respawns with work still pending."""
-
-
-#: Exception types retried without further inspection.  ``TimeoutError``
-#: and friends are ``OSError`` subclasses, listed for documentation.
-_TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
-    TransientPointError,
-    TimeoutError,
-    ConnectionError,
-    InterruptedError,
-    BlockingIOError,
-    OSError,
-    sqlite3.OperationalError,
-)
-
-#: Exception types quarantined immediately: they are properties of the
-#: point's computation, so every retry would fail identically.
-_PERMANENT_TYPES: tuple[type[BaseException], ...] = (
-    PermanentPointError,
-    ValueError,
-    TypeError,
-    KeyError,
-    IndexError,
-    AttributeError,
-    AssertionError,
-    ZeroDivisionError,
-    NotImplementedError,
-    MemoryError,
-)
-
-
-def classify_error(exc: BaseException) -> str:
-    """``"transient"`` or ``"permanent"`` for one point failure.
-
-    The explicit marker classes win, then the permanent types (bugs in
-    or triggered by the point's computation), then the transient types
-    (environmental).  Unknown exception types default to *transient*:
-    the retry budget bounds the cost of optimism, while misclassifying
-    a recoverable hiccup as permanent would quarantine a good point.
-    """
-    if isinstance(exc, PermanentPointError):
-        return "permanent"
-    if isinstance(exc, TransientPointError):
-        return "transient"
-    if isinstance(exc, _PERMANENT_TYPES):
-        return "permanent"
-    if isinstance(exc, _TRANSIENT_TYPES):
-        return "transient"
-    return "transient"
-
-
-# ----------------------------------------------------------------------
-# Retry policy
-# ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded exponential backoff with deterministic jitter.
-
-    ``max_attempts`` is the *total* number of tries a point gets (so 1
-    means no retries).  The delay before retry ``k`` (0-based) is::
-
-        min(base_delay_s * multiplier**k, max_delay_s) * (1 + jitter * u)
-
-    where ``u ∈ [0, 1)`` is hashed from the run key and attempt number
-    — different points desynchronise (no thundering herd on a shared
-    lake database) while the same point's schedule is reproducible
-    across reruns and test assertions.
-    """
-
-    max_attempts: int = 3
-    base_delay_s: float = 0.05
-    multiplier: float = 2.0
-    max_delay_s: float = 2.0
-    jitter: float = 0.25
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
-        if self.base_delay_s < 0 or self.max_delay_s < 0:
-            raise ValueError("delays must be non-negative")
-        if self.multiplier < 1.0:
-            raise ValueError("multiplier must be >= 1")
-        if not 0.0 <= self.jitter <= 1.0:
-            raise ValueError("jitter must be in [0, 1]")
-
-    def delay_s(self, key: str, attempt: int) -> float:
-        """The backoff before retry ``attempt`` (0-based) of ``key``."""
-        raw = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
-        digest = hashlib.sha1(f"{key}:{attempt}".encode("utf-8")).digest()
-        fraction = int.from_bytes(digest[:4], "big") / 2**32
-        return raw * (1.0 + self.jitter * fraction)
-
-    def delays(self, key: str) -> list[float]:
-        """Every backoff the policy would sleep for ``key``, in order."""
-        return [self.delay_s(key, k) for k in range(self.max_attempts - 1)]
-
-    def to_dict(self) -> dict[str, Any]:
-        """JSON-able form (ships to worker processes in the context)."""
-        return {
-            "max_attempts": self.max_attempts,
-            "base_delay_s": self.base_delay_s,
-            "multiplier": self.multiplier,
-            "max_delay_s": self.max_delay_s,
-            "jitter": self.jitter,
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "RetryPolicy":
-        """Rebuild a policy from :meth:`to_dict` output."""
-        return cls(**data)
-
-
-# ----------------------------------------------------------------------
-# Wall-clock point timeouts
-# ----------------------------------------------------------------------
-
-
-class time_limit:
-    """Context manager: raise :class:`PointTimeout` after ``seconds``.
-
-    Armed with ``signal.setitimer`` (real time), so a point stuck in a
-    pure-Python loop *or* a blocking syscall is interrupted.  A ``None``
-    or non-positive budget, a non-main thread, or a platform without
-    ``SIGALRM`` all degrade to a no-op — the supervisor's heartbeat
-    deadline is the backstop there.
-    """
-
-    def __init__(self, seconds: float | None) -> None:
-        self.seconds = seconds
-        self._armed = False
-        self._previous: Any = None
-
-    def _usable(self) -> bool:
-        return (
-            self.seconds is not None
-            and self.seconds > 0
-            and hasattr(signal, "SIGALRM")
-            and threading.current_thread() is threading.main_thread()
-        )
-
-    def __enter__(self) -> "time_limit":
-        if self._usable():
-            def _on_alarm(signum: int, frame: Any) -> None:
-                raise PointTimeout(f"point exceeded {self.seconds}s wall-clock budget")
-
-            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, float(self.seconds))
-            self._armed = True
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        if self._armed:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, self._previous)
-            self._armed = False
 
 
 # ----------------------------------------------------------------------
@@ -484,36 +330,6 @@ def run_point_resilient(
             ):
                 return quarantine_row(point.axis_values(), exc, attempts), True
             sleep(resilience.retry.delay_s(key, attempts - 1))
-
-
-# ----------------------------------------------------------------------
-# Heartbeats
-# ----------------------------------------------------------------------
-
-
-def write_heartbeat(path: Path) -> None:
-    """Record liveness: create the file once, then bump its mtime.
-
-    The beat is the mtime, not the contents, so a beat after creation
-    is one ``utime`` syscall — cheap enough to fire at every point
-    boundary.
-    """
-    try:
-        os.utime(path)
-    except FileNotFoundError:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(str(os.getpid()), encoding="utf-8")
-    except OSError:
-        pass
-
-
-def heartbeat_age_s(path: Path, now: float | None = None) -> float:
-    """Seconds since the last beat (infinite when the file is missing)."""
-    try:
-        mtime = path.stat().st_mtime
-    except OSError:
-        return float("inf")
-    return max(0.0, (now if now is not None else time.time()) - mtime)
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,7 @@ from .stages import (
     ReconstructionMetrics,
     StagedReconstructionPipeline,
     StreamedReconstruction,
+    StreamingReconstructionSession,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "ReconstructionMetrics",
     "StagedReconstructionPipeline",
     "StreamedReconstruction",
+    "StreamingReconstructionSession",
 ]

@@ -34,6 +34,7 @@ from .stages import (
     ReconstructionMetrics,
     StagedReconstructionPipeline,
     StreamedReconstruction,
+    StreamingReconstructionSession,
 )
 
 __all__ = ["ReconstructionResult", "TraceTracker"]
@@ -120,3 +121,13 @@ class TraceTracker:
         for the carry-over semantics.
         """
         return self.pipeline.run_stream(chunks, target)
+
+    def stream_session(self, target: StorageDevice) -> StreamingReconstructionSession:
+        """A resumable chunk-at-a-time reconstruction session.
+
+        The incremental form of :meth:`reconstruct_stream`: the
+        streaming service (:mod:`repro.service`) feeds it chunks as
+        they arrive and checkpoints its state between chunks, so a
+        killed daemon resumes bit-identically.
+        """
+        return self.pipeline.stream_session(target)

@@ -57,6 +57,7 @@ __all__ = [
     "ReconstructionMetrics",
     "StagedReconstructionPipeline",
     "StreamedReconstruction",
+    "StreamingReconstructionSession",
 ]
 
 
@@ -224,6 +225,16 @@ class StagedReconstructionPipeline:
 
     # -- chunked -------------------------------------------------------
 
+    def stream_session(self, target: StorageDevice) -> "StreamingReconstructionSession":
+        """A resumable chunk-at-a-time driver bound to ``target``.
+
+        The session form of :meth:`run_stream`: feed it chunks one at a
+        time, collect the emitted pieces as they appear, and checkpoint
+        its :meth:`~StreamingReconstructionSession.state_dict` between
+        chunks — the substrate of the always-on streaming service.
+        """
+        return StreamingReconstructionSession(self, target)
+
     def run_stream(
         self, chunks: Iterable[BlockTrace], target: StorageDevice
     ) -> StreamedReconstruction:
@@ -235,71 +246,256 @@ class StagedReconstructionPipeline:
         replayed copy is then dropped and the segment is spliced onto
         the output timeline at the carry's already-emitted submit time.
         """
+        session = self.stream_session(target)
         pieces: list[BlockTrace] = []
-        carry: BlockTrace | None = None
-        pending: BlockTrace | None = None  # undersized head segments
-        splice_at = 0.0
-        old_duration = 0.0
-        old_start: float | None = None
-        slept = 0.0
-        n_async = 0
-        used_measured = True
-        n_chunks = 0
         for chunk in chunks:
-            if len(chunk) == 0:
-                continue
-            if old_start is None:
-                old_start = float(chunk.timestamps[0])
-            old_duration = float(chunk.timestamps[-1]) - old_start
-            if pending is not None:
-                chunk = pending.concat(chunk)
-                pending = None
-            work = chunk if carry is None else carry.concat(chunk)
-            if len(work) < 2:
-                # A 1-request stream head cannot be decomposed yet;
-                # fold it into the next chunk (carry stays unset — the
-                # request is still waiting to be reconstructed).
-                pending = work
-                continue
-            n_chunks += 1
-            extraction = self.infer.run(work)
-            async_indices = detect_async_indices(extraction.tintt_us, extraction.tsdev_us)
-            replay = self.emulate.run(work, target, extraction.tidle_us)
-            new_work = replay.trace
-            if self.postprocess is not None:
-                new_work = self.postprocess.run(replay, extraction, async_indices)
-            if carry is None:
-                piece = new_work
-            else:
-                # Drop the carry's replayed copy; keep the boundary gap
-                # by aligning the carry at its previously-emitted time.
-                piece = new_work.select(slice(1, None)).shifted(
-                    splice_at - float(new_work.timestamps[0])
-                )
-            # Each gap is decomposed exactly once: work_k's gaps are
-            # chunk_k's internal gaps plus the one boundary gap its
-            # carry introduces, and the carry advances every round.
-            slept += float(extraction.tidle_us.sum())
-            n_async += int(np.count_nonzero(extraction.async_mask))
-            used_measured = used_measured and extraction.used_measured_tsdev
-            pieces.append(piece)
-            splice_at = float(piece.timestamps[-1])
-            carry = chunk.select(slice(-1, None))
-        if pending is not None:
-            # The whole stream held a single request: replay it bare.
-            replay = self.emulate.run(pending, target, np.zeros(len(pending)))
-            pieces.append(replay.trace)
-            n_chunks += 1
+            piece = session.feed(chunk)
+            if piece is not None:
+                pieces.append(piece)
+        tail = session.finish()
+        if tail is not None:
+            pieces.append(tail)
         if not pieces:
             raise ValueError("cannot reconstruct an empty stream")
         out = BlockTrace.concat_all(pieces)
-        metrics = ReconstructionMetrics(
-            n_requests=len(out),
-            old_duration_us=old_duration,
-            new_duration_us=out.duration,
-            slept_idle_us=slept,
-            n_async_gaps=n_async,
-            used_measured_tsdev=used_measured,
-            n_chunks=n_chunks,
+        return StreamedReconstruction(
+            trace=out, metrics=session.metrics(), method=self.method
         )
-        return StreamedReconstruction(trace=out, metrics=metrics, method=self.method)
+
+
+def _trace_to_state(trace: BlockTrace | None) -> dict | None:
+    """JSON-able columns of a (tiny) carry/pending trace.
+
+    Floats round-trip exactly: ``json`` serialises via ``repr``, which
+    emits the shortest string that parses back to the same binary64 —
+    so a restored session replays bit-identically.
+    """
+    if trace is None:
+        return None
+    return {
+        "timestamps": trace.timestamps.tolist(),
+        "lbas": trace.lbas.tolist(),
+        "sizes": trace.sizes.tolist(),
+        "ops": trace.ops.tolist(),
+        "issues": None if trace.issues is None else trace.issues.tolist(),
+        "completes": None if trace.completes is None else trace.completes.tolist(),
+        "syncs": None if trace.syncs is None else trace.syncs.tolist(),
+        "name": trace.name,
+        "metadata": dict(trace.metadata),
+    }
+
+
+def _trace_from_state(state: dict | None) -> BlockTrace | None:
+    """Rebuild a carry/pending trace from :func:`_trace_to_state`."""
+    if state is None:
+        return None
+    return BlockTrace(
+        timestamps=state["timestamps"],
+        lbas=state["lbas"],
+        sizes=state["sizes"],
+        ops=state["ops"],
+        issues=state["issues"],
+        completes=state["completes"],
+        syncs=state["syncs"],
+        name=state["name"],
+        metadata=state["metadata"],
+    )
+
+
+class StreamingReconstructionSession:
+    """Chunk-at-a-time reconstruction with checkpointable state.
+
+    Drives the same carry-one-request algorithm as
+    :meth:`StagedReconstructionPipeline.run_stream`, but incrementally:
+    :meth:`feed` consumes one chunk and returns the reconstructed
+    piece already spliced onto the output timeline (or ``None`` while
+    the stream is still too short to decompose), :meth:`finish` flushes
+    a single-request stream, and :meth:`metrics` folds the running
+    aggregates into the same :class:`ReconstructionMetrics` the batch
+    path computes — bit-identical, because the operations are the same
+    ones in the same order.
+
+    The whole cross-chunk state is the carried request plus a handful
+    of scalars; :meth:`state_dict` serialises it to a JSON-able dict
+    and :meth:`load_state` restores it, so a process SIGKILLed between
+    chunks resumes with output bit-identical to an uninterrupted run.
+    State commits only after a chunk fully reconstructs — a chunk that
+    raises mid-flight leaves the session unchanged and retryable.
+    """
+
+    #: Version stamp carried by :meth:`state_dict` documents.
+    STATE_VERSION = 1
+
+    def __init__(
+        self, pipeline: StagedReconstructionPipeline, target: StorageDevice
+    ) -> None:
+        self.pipeline = pipeline
+        self.target = target
+        self._carry: BlockTrace | None = None
+        self._pending: BlockTrace | None = None  # undersized head segments
+        self._splice_at = 0.0
+        self._old_duration = 0.0
+        self._old_start: float | None = None
+        self._slept = 0.0
+        self._n_async = 0
+        self._used_measured = True
+        self._n_chunks = 0
+        self._n_requests = 0
+        self._out_start: float | None = None
+        self._out_last: float | None = None
+
+    # -- driving -------------------------------------------------------
+
+    def feed(self, chunk: BlockTrace) -> BlockTrace | None:
+        """Consume one time-ordered chunk; return the emitted piece.
+
+        Returns ``None`` for empty chunks and while the stream head is
+        still a single request (folded into the next chunk).  The
+        returned piece is final — already shifted to its splice point —
+        and is never revised by later chunks.
+        """
+        if len(chunk) == 0:
+            return None
+        old_start = (
+            float(chunk.timestamps[0]) if self._old_start is None else self._old_start
+        )
+        old_duration = float(chunk.timestamps[-1]) - old_start
+        if self._pending is not None:
+            chunk = self._pending.concat(chunk)
+        work = chunk if self._carry is None else self._carry.concat(chunk)
+        if len(work) < 2:
+            # A 1-request stream head cannot be decomposed yet; fold it
+            # into the next chunk (carry stays unset — the request is
+            # still waiting to be reconstructed).
+            self._old_start = old_start
+            self._old_duration = old_duration
+            self._pending = work
+            return None
+        extraction = self.pipeline.infer.run(work)
+        async_indices = detect_async_indices(extraction.tintt_us, extraction.tsdev_us)
+        replay = self.pipeline.emulate.run(work, self.target, extraction.tidle_us)
+        new_work = replay.trace
+        if self.pipeline.postprocess is not None:
+            new_work = self.pipeline.postprocess.run(replay, extraction, async_indices)
+        if self._carry is None:
+            piece = new_work
+        else:
+            # Drop the carry's replayed copy; keep the boundary gap by
+            # aligning the carry at its previously-emitted time.
+            piece = new_work.select(slice(1, None)).shifted(
+                self._splice_at - float(new_work.timestamps[0])
+            )
+        # The chunk fully reconstructed — commit the session state.
+        # Each gap is decomposed exactly once: work_k's gaps are
+        # chunk_k's internal gaps plus the one boundary gap its carry
+        # introduces, and the carry advances every round.
+        self._old_start = old_start
+        self._old_duration = old_duration
+        self._pending = None
+        self._n_chunks += 1
+        self._slept += float(extraction.tidle_us.sum())
+        self._n_async += int(np.count_nonzero(extraction.async_mask))
+        self._used_measured = self._used_measured and extraction.used_measured_tsdev
+        self._splice_at = float(piece.timestamps[-1])
+        self._carry = chunk.select(slice(-1, None))
+        self._record_piece(piece)
+        return piece
+
+    def finish(self) -> BlockTrace | None:
+        """Flush a stream that ended while still a single request.
+
+        Returns the bare replay of the held request, or ``None`` when
+        there is nothing pending (the common case).  Idempotent.
+        """
+        if self._pending is None:
+            return None
+        # The whole stream held a single request: replay it bare.
+        replay = self.pipeline.emulate.run(
+            self._pending, self.target, np.zeros(len(self._pending))
+        )
+        piece = replay.trace
+        self._pending = None
+        self._n_chunks += 1
+        self._record_piece(piece)
+        return piece
+
+    def _record_piece(self, piece: BlockTrace) -> None:
+        """Track output extent/counters for incremental metrics."""
+        self._n_requests += len(piece)
+        if self._out_start is None:
+            self._out_start = float(piece.timestamps[0])
+        self._out_last = float(piece.timestamps[-1])
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def n_chunks(self) -> int:
+        """Segments reconstructed so far."""
+        return self._n_chunks
+
+    @property
+    def n_requests(self) -> int:
+        """Requests emitted so far."""
+        return self._n_requests
+
+    def metrics(self) -> ReconstructionMetrics:
+        """The running aggregates as :class:`ReconstructionMetrics`.
+
+        Matches what :meth:`StagedReconstructionPipeline.run_stream`
+        computes over the concatenated output — the duration is the
+        same two floats subtracted, the counters the same sums.
+        """
+        if self._n_requests == 0:
+            raise ValueError("cannot reconstruct an empty stream")
+        if self._n_requests < 2 or self._out_start is None or self._out_last is None:
+            new_duration = 0.0
+        else:
+            new_duration = self._out_last - self._out_start
+        return ReconstructionMetrics(
+            n_requests=self._n_requests,
+            old_duration_us=self._old_duration,
+            new_duration_us=new_duration,
+            slept_idle_us=self._slept,
+            n_async_gaps=self._n_async,
+            used_measured_tsdev=self._used_measured,
+            n_chunks=self._n_chunks,
+        )
+
+    # -- checkpointing -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The full cross-chunk state as a JSON-able dict."""
+        return {
+            "version": self.STATE_VERSION,
+            "carry": _trace_to_state(self._carry),
+            "pending": _trace_to_state(self._pending),
+            "splice_at": self._splice_at,
+            "old_duration": self._old_duration,
+            "old_start": self._old_start,
+            "slept": self._slept,
+            "n_async": self._n_async,
+            "used_measured": self._used_measured,
+            "n_chunks": self._n_chunks,
+            "n_requests": self._n_requests,
+            "out_start": self._out_start,
+            "out_last": self._out_last,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this session."""
+        if state.get("version") != self.STATE_VERSION:
+            raise ValueError(
+                f"unsupported stream-session state version {state.get('version')!r}"
+            )
+        self._carry = _trace_from_state(state["carry"])
+        self._pending = _trace_from_state(state["pending"])
+        self._splice_at = float(state["splice_at"])
+        self._old_duration = float(state["old_duration"])
+        self._old_start = None if state["old_start"] is None else float(state["old_start"])
+        self._slept = float(state["slept"])
+        self._n_async = int(state["n_async"])
+        self._used_measured = bool(state["used_measured"])
+        self._n_chunks = int(state["n_chunks"])
+        self._n_requests = int(state["n_requests"])
+        self._out_start = None if state["out_start"] is None else float(state["out_start"])
+        self._out_last = None if state["out_last"] is None else float(state["out_last"])

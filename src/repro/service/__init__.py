@@ -1,0 +1,50 @@
+"""Always-on streaming reconstruction service (``repro-serve``).
+
+The batch pipeline answers "remaster this trace file"; this package
+answers "remaster this trace *as it happens*" — an always-on daemon
+that tails a growing file, watches a segment directory, or listens on
+a socket, and keeps the reconstructed trace, its metrics, and a
+crash-consistent checkpoint continuously up to date on disk.
+
+Pieces:
+
+- :mod:`~repro.service.sources` — pluggable line sources with byte
+  cursors and torn-line hold-back;
+- :mod:`~repro.service.backpressure` — the bounded chunk queue with
+  high/low watermark hysteresis and block/shed policies;
+- :mod:`~repro.service.checkpoint` — atomic resume points (source
+  cursor + session state + sink length);
+- :mod:`~repro.service.daemon` — the service itself: ingest, pipeline,
+  quarantine, watchdog, drain;
+- :mod:`~repro.service.cli` — the ``repro-serve`` entry point.
+
+The batch pipeline remains the correctness oracle: for the same
+content, ``out.csv`` and the final metrics are byte- and bit-identical
+to ``pipeline.run_stream(TraceReader(path, chunk_requests=N))`` — even
+across SIGKILL and restart.
+"""
+
+from .backpressure import BoundedChunkQueue
+from .checkpoint import StreamCheckpoint, load_checkpoint, save_checkpoint
+from .daemon import ServiceConfig, StreamingReconstructionService
+from .sources import (
+    DirectoryWatchSource,
+    FileTailSource,
+    SocketLineSource,
+    StreamSource,
+    parse_source_spec,
+)
+
+__all__ = [
+    "BoundedChunkQueue",
+    "DirectoryWatchSource",
+    "FileTailSource",
+    "ServiceConfig",
+    "SocketLineSource",
+    "StreamCheckpoint",
+    "StreamSource",
+    "StreamingReconstructionService",
+    "load_checkpoint",
+    "parse_source_spec",
+    "save_checkpoint",
+]

@@ -1,0 +1,134 @@
+"""Bounded chunk queue with watermark hysteresis: explicit backpressure.
+
+The daemon's ingest thread and pipeline thread meet at this queue.  It
+is deliberately *not* ``queue.Queue``: backpressure here is a visible,
+configurable policy rather than an implicit block, and the gate uses
+**hysteresis** — it closes when depth reaches ``high_watermark`` and
+reopens only once the consumer has drained it to ``low_watermark`` —
+so a producer racing a slow consumer settles into calm batches instead
+of thrashing one-in-one-out at the brim.
+
+Two policies when the gate is closed:
+
+- ``"block"`` — the producer waits (lossless; upstream slows down;
+  for the socket source the pause propagates into the kernel receive
+  window and blocks the remote sender).
+- ``"shed"`` — the put is refused and counted; the caller drops the
+  chunk (lossy by contract: freshness over completeness).
+
+Terminal markers (end-of-stream, stop) bypass the gate via
+``force=True`` — control flow must never be backpressured behind data.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable
+
+__all__ = ["BoundedChunkQueue", "QUEUE_POLICIES"]
+
+#: Valid backpressure policies.
+QUEUE_POLICIES = ("block", "shed")
+
+
+class BoundedChunkQueue:
+    """Thread-safe bounded queue with high/low watermark gating."""
+
+    def __init__(
+        self,
+        high_watermark: int = 8,
+        low_watermark: int | None = None,
+        policy: str = "block",
+    ) -> None:
+        if policy not in QUEUE_POLICIES:
+            raise ValueError(f"unknown queue policy {policy!r}; choose from {QUEUE_POLICIES}")
+        if high_watermark < 1:
+            raise ValueError("high_watermark must be at least 1")
+        low = max(1, high_watermark // 2) if low_watermark is None else low_watermark
+        if not 1 <= low <= high_watermark:
+            raise ValueError("low_watermark must be in [1, high_watermark]")
+        self.high_watermark = high_watermark
+        self.low_watermark = low
+        self.policy = policy
+        self._items: deque[Any] = deque()
+        self._cond = threading.Condition()
+        self._gated = False
+        self.n_put = 0
+        self.n_shed = 0
+        self.max_depth = 0
+
+    def _update_gate_locked(self) -> None:
+        if len(self._items) >= self.high_watermark:
+            self._gated = True
+        elif len(self._items) <= self.low_watermark:
+            self._gated = False
+
+    def put(
+        self,
+        item: Any,
+        force: bool = False,
+        should_abort: Callable[[], bool] | None = None,
+        poll_s: float = 0.05,
+    ) -> bool:
+        """Enqueue ``item``; ``False`` means it was shed or aborted.
+
+        Under ``"block"`` the call waits while the gate is closed,
+        checking ``should_abort`` between waits so a drain request can
+        pull the producer out mid-block.  Under ``"shed"`` a closed
+        gate refuses immediately.  ``force`` ignores the gate entirely
+        (terminal markers only).
+        """
+        with self._cond:
+            while True:
+                self._update_gate_locked()
+                if force or not self._gated:
+                    self._items.append(item)
+                    self.n_put += 1
+                    self.max_depth = max(self.max_depth, len(self._items))
+                    self._cond.notify_all()
+                    return True
+                if self.policy == "shed":
+                    self.n_shed += 1
+                    return False
+                self._cond.wait(poll_s)
+                if should_abort is not None and should_abort():
+                    return False
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Dequeue the oldest item, or ``None`` on timeout."""
+        with self._cond:
+            if not self._items:
+                self._cond.wait(timeout)
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._update_gate_locked()
+            self._cond.notify_all()
+            return item
+
+    def depth(self) -> int:
+        """Number of items currently queued."""
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def gated(self) -> bool:
+        """Whether the gate is currently closed (producer throttled)."""
+        with self._cond:
+            self._update_gate_locked()
+            return self._gated
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for the status page."""
+        with self._cond:
+            return {
+                "depth": len(self._items),
+                "high_watermark": self.high_watermark,
+                "low_watermark": self.low_watermark,
+                "policy": self.policy,
+                "gated": self._gated,
+                "n_put": self.n_put,
+                "n_shed": self.n_shed,
+                "max_depth": self.max_depth,
+            }

@@ -19,6 +19,12 @@ submission order and stream fine.
 Dialects that rebase (MSRC/FIU/MSPS) are rebased against the *first*
 chunk's start, so later chunks keep their absolute placement on the
 stream's timeline.
+
+``tail=True`` hardens the reader against a file that is still being
+written: only newline-terminated lines are parsed, so a torn partial
+line at the current end of file is *held back* rather than raised on
+or — worse — silently parsed into a wrong row.  See
+:func:`iter_complete_lines`.
 """
 
 from __future__ import annotations
@@ -30,14 +36,44 @@ from typing import IO
 from ..trace import BlockTrace
 from .bulk import BULK_PARSERS
 
-__all__ = ["TraceReader", "TraceStreamError"]
+__all__ = ["TraceReader", "TraceStreamError", "iter_complete_lines"]
 
 #: Text dialects whose whole-file parsers rebase to a 0 start.
 _REBASED_FORMATS = frozenset({"msrc", "fiu", "msps"})
 
+#: Read granularity for the complete-line iterator.
+_READ_BLOCK = 1 << 16
+
 
 class TraceStreamError(ValueError):
     """A trace file cannot be streamed in chunks (out-of-order segments)."""
+
+
+def iter_complete_lines(handle: IO[str]) -> Iterator[str]:
+    """Yield only newline-terminated lines from ``handle``.
+
+    The tail-safe line discipline: a trailing fragment with no newline
+    is held back, never yielded, because a concurrently-appending
+    writer may be mid-write — emitting the torn prefix would either
+    fail to parse or, worse, parse *successfully* into a wrong row
+    (``"123456.000,80"`` is a valid prefix of ``"123456.000,8000,…"``).
+    If the writer completes the line while this pass is still reading,
+    the whole line is delivered exactly once; a fragment still torn at
+    end of file is left for the next pass (the streaming service's
+    sources re-poll from a byte cursor for exactly this reason).
+
+    Yielded lines carry no trailing newline.
+    """
+    pending = ""
+    while True:
+        block = handle.read(_READ_BLOCK)
+        if not block:
+            return
+        pending += block
+        if "\n" not in pending:
+            continue
+        complete, pending = pending.rsplit("\n", 1)
+        yield from complete.split("\n")
 
 
 class TraceReader:
@@ -54,6 +90,14 @@ class TraceReader:
     chunk_requests:
         Maximum rows per yielded chunk (the streaming pipeline's
         working-set knob).
+    tail:
+        Treat the file as possibly still being written: parse only
+        newline-terminated lines, holding a torn trailing fragment
+        back instead of raising on it or parsing it into a wrong row.
+        Growth that lands while the read is in progress is picked up;
+        a fragment still torn at end of file is simply not part of
+        this pass.  The default (``False``) keeps the whole-file
+        contract where a final unterminated line is a complete record.
 
     Iterating yields non-overlapping chunks in time order; ``read()``
     concatenates them into the same trace a whole-file load produces.
@@ -65,6 +109,7 @@ class TraceReader:
         fmt: str = "internal",
         name: str | None = None,
         chunk_requests: int = 100_000,
+        tail: bool = False,
     ) -> None:
         if fmt != "npz" and fmt not in BULK_PARSERS:
             raise ValueError(
@@ -76,6 +121,7 @@ class TraceReader:
         self.fmt = fmt
         self.name = name if name is not None else self.path.stem
         self.chunk_requests = chunk_requests
+        self.tail = tail
 
     def __iter__(self) -> Iterator[BlockTrace]:
         if self.fmt == "npz":
@@ -114,9 +160,10 @@ class TraceReader:
         previous_end: float | None = None
         chunk_index = 0
         with self.path.open("r", encoding="utf-8") as handle:
-            header = self._read_internal_header(handle) if self.fmt == "internal" else None
+            raw_lines: Iterator[str] = iter_complete_lines(handle) if self.tail else iter(handle)
+            header = self._read_internal_header(raw_lines) if self.fmt == "internal" else None
             while True:
-                lines = self._next_chunk_lines(handle)
+                lines = self._next_chunk_lines(raw_lines)
                 if not lines:
                     break
                 body = "\n".join(lines)
@@ -142,18 +189,18 @@ class TraceReader:
                 yield chunk
 
     @staticmethod
-    def _read_internal_header(handle: IO[str]) -> str:
+    def _read_internal_header(raw_lines: Iterator[str]) -> str:
         """Consume lines up to and including the internal CSV header."""
-        for raw in handle:
+        for raw in raw_lines:
             line = raw.strip()
             if line and not line.startswith("#"):
                 return line
         return ""
 
-    def _next_chunk_lines(self, handle: IO[str]) -> list[str]:
+    def _next_chunk_lines(self, raw_lines: Iterator[str]) -> list[str]:
         """Up to ``chunk_requests`` content lines (comments/blanks dropped)."""
         lines: list[str] = []
-        for raw in handle:
+        for raw in raw_lines:
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue

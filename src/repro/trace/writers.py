@@ -15,11 +15,16 @@ from typing import TextIO
 from .record import SECTOR_BYTES, OpType
 from .trace import BlockTrace
 
-__all__ = ["write_csv", "write_msrc", "write_blktrace_text", "dump_trace"]
+__all__ = ["iter_csv_rows", "write_csv", "write_msrc", "write_blktrace_text", "dump_trace"]
 
 
-def _csv_rows(trace: BlockTrace) -> Iterator[str]:
-    """Yield header + data rows of the internal CSV format."""
+def iter_csv_rows(trace: BlockTrace) -> Iterator[str]:
+    """Yield header + data rows of the internal CSV format.
+
+    Public because the streaming service's sink appends pieces row by
+    row and must emit byte-identical output to :func:`write_csv` over
+    the concatenated trace (the crash-recovery parity contract).
+    """
     columns = ["timestamp_us", "lba", "size_sectors", "op"]
     if trace.has_device_times:
         columns += ["issue_us", "complete_us"]
@@ -44,7 +49,7 @@ def _csv_rows(trace: BlockTrace) -> Iterator[str]:
 
 def write_csv(trace: BlockTrace, target: TextIO) -> None:
     """Write ``trace`` in the internal CSV format to an open text file."""
-    for row in _csv_rows(trace):
+    for row in iter_csv_rows(trace):
         target.write(row + "\n")
 
 

@@ -1,0 +1,191 @@
+"""Chaos: SIGKILL the streaming daemon, restart, demand bit-identity.
+
+The property under test: a daemon SIGKILLed at *any* point and
+restarted over the same work directory produces a sink and metrics
+byte-/bit-identical to an undisturbed batch-oracle run — zero
+duplicated and zero lost requests.  Kill points are chosen at random
+chunk boundaries from a seeded RNG (the chaos-harness style of
+tests/chaos/test_chaos_campaign.py: real processes, real signals,
+deterministic schedule).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro import TraceTracker
+from repro.storage import ConstantLatencyDevice, HDDModel, SATA_600
+from repro.trace import TraceReader, dump_trace, load_trace
+from repro.workloads import collect_trace, generate_intents, get_spec
+
+CHUNK = 50
+N_REQUESTS = 600
+
+
+def device():
+    return ConstantLatencyDevice(SATA_600, read_us=80.0, write_us=120.0)
+
+
+@pytest.fixture(scope="module")
+def stream_file(tmp_path_factory):
+    base = tmp_path_factory.mktemp("chaos-stream")
+    old = collect_trace(
+        generate_intents(get_spec("MSNFS").scaled(N_REQUESTS)), HDDModel()
+    )
+    src = base / "old.csv"
+    dump_trace(old, src, fmt="internal")
+    return src
+
+
+@pytest.fixture(scope="module")
+def oracle(stream_file, tmp_path_factory):
+    base = tmp_path_factory.mktemp("chaos-oracle")
+    result = TraceTracker().pipeline.run_stream(
+        TraceReader(stream_file, chunk_requests=CHUNK), device()
+    )
+    out = base / "out.csv"
+    dump_trace(result.trace, out, fmt="internal")
+    return {"bytes": out.read_bytes(), "metrics": result.metrics}
+
+
+def serve_file(src, workdir):
+    """Child-process entry: run the daemon to completion over a file."""
+    from repro.service import FileTailSource, ServiceConfig, StreamingReconstructionService
+
+    service = StreamingReconstructionService(
+        FileTailSource(src),
+        device(),
+        workdir,
+        ServiceConfig(chunk_requests=CHUNK, until_idle_s=0.3),
+    )
+    service.run()
+
+
+def serve_spool(spool, workdir):
+    """Child-process entry: resume a socket stream from its spool."""
+    from repro.service import SocketLineSource, ServiceConfig, StreamingReconstructionService
+
+    service = StreamingReconstructionService(
+        SocketLineSource("127.0.0.1", 0, spool),
+        device(),
+        workdir,
+        ServiceConfig(chunk_requests=CHUNK, until_idle_s=0.3),
+    )
+    service.run()
+
+
+def wait_rows_consumed(checkpoint_path, threshold, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            if json.loads(checkpoint_path.read_text())["rows_consumed"] >= threshold:
+                return
+        except (OSError, ValueError, KeyError):
+            pass
+        time.sleep(0.003)
+    raise AssertionError(f"daemon never consumed {threshold} rows")
+
+
+def assert_exactly_once(workdir, oracle):
+    """Byte parity implies zero duplicated and zero lost requests."""
+    assert (workdir / "out.csv").read_bytes() == oracle["bytes"]
+    got = load_trace(workdir / "out.csv", fmt="internal")
+    assert len(got) == oracle["metrics"].n_requests
+    assert len(np.unique(got.timestamps)) == len(got)  # no duplicated rows
+    saved = json.loads((workdir / "metrics.json").read_text())
+    m = oracle["metrics"]
+    assert saved == {
+        "n_requests": m.n_requests,
+        "old_duration_us": m.old_duration_us,
+        "new_duration_us": m.new_duration_us,
+        "slept_idle_us": m.slept_idle_us,
+        "n_async_gaps": m.n_async_gaps,
+        "used_measured_tsdev": m.used_measured_tsdev,
+        "n_chunks": m.n_chunks,
+    }
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_sigkill_at_random_chunk_boundaries(stream_file, oracle, tmp_path, seed):
+    """Kill the daemon twice at seeded random progress points, then finish."""
+    ctx = multiprocessing.get_context("fork")
+    workdir = tmp_path / "wd"
+    rng = np.random.default_rng(seed)
+    kill_points = sorted(
+        rng.choice(np.arange(1, N_REQUESTS // CHUNK), size=2, replace=False) * CHUNK
+    )
+    for threshold in kill_points:
+        proc = ctx.Process(target=serve_file, args=(stream_file, workdir))
+        proc.start()
+        wait_rows_consumed(workdir / "checkpoint.json", int(threshold))
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=30.0)
+        assert proc.exitcode == -signal.SIGKILL
+    proc = ctx.Process(target=serve_file, args=(stream_file, workdir))
+    proc.start()
+    proc.join(timeout=180.0)
+    assert proc.exitcode == 0
+    assert_exactly_once(workdir, oracle)
+
+
+def test_sigkill_mid_socket_stream_resumes_from_spool(stream_file, oracle, tmp_path):
+    """Socket data survives the kill because the spool journaled it."""
+    ctx = multiprocessing.get_context("fork")
+    workdir = tmp_path / "wd"
+    workdir.mkdir()
+    spool = workdir / "spool.lines"
+    proc = ctx.Process(target=serve_spool, args=(spool, workdir))
+    proc.start()
+    # discover the ephemeral port from the status page
+    deadline = time.monotonic() + 30.0
+    port = 0
+    while time.monotonic() < deadline and not port:
+        try:
+            port = json.loads((workdir / "status.json").read_text())["endpoint"]["port"]
+        except (OSError, ValueError, KeyError):
+            time.sleep(0.01)
+    assert port
+    with socket.create_connection(("127.0.0.1", port)) as conn:
+        conn.sendall(stream_file.read_bytes())
+    # kill mid-processing, after the spool has it all but the pipeline
+    # has only partially caught up
+    wait_rows_consumed(workdir / "checkpoint.json", CHUNK * 3)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=30.0)
+    expected_spool = stream_file.read_bytes()
+    deadline = time.monotonic() + 10.0
+    while spool.read_bytes() != expected_spool and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert spool.read_bytes() == expected_spool  # journal complete
+    proc = ctx.Process(target=serve_spool, args=(spool, workdir))
+    proc.start()
+    proc.join(timeout=180.0)
+    assert proc.exitcode == 0
+    assert_exactly_once(workdir, oracle)
+
+
+def test_sigterm_drains_and_exits_zero(stream_file, oracle, tmp_path):
+    """Real-signal drain: SIGTERM mid-stream exits cleanly and resumably."""
+    ctx = multiprocessing.get_context("fork")
+    workdir = tmp_path / "wd"
+    proc = ctx.Process(target=serve_file, args=(stream_file, workdir))
+    proc.start()
+    wait_rows_consumed(workdir / "checkpoint.json", CHUNK * 2)
+    os.kill(proc.pid, signal.SIGTERM)
+    proc.join(timeout=60.0)
+    assert proc.exitcode == 0
+    status = json.loads((workdir / "status.json").read_text())
+    assert status["state"] in ("stopped", "finished")
+    proc = ctx.Process(target=serve_file, args=(stream_file, workdir))
+    proc.start()
+    proc.join(timeout=180.0)
+    assert proc.exitcode == 0
+    assert_exactly_once(workdir, oracle)

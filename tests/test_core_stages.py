@@ -113,3 +113,82 @@ class TestStreaming:
         device = ConstantLatencyDevice(SATA_600)
         with pytest.raises(ValueError, match="empty stream"):
             TraceTracker().reconstruct_stream(iter([]), device)
+
+
+class TestStreamingSession:
+    """Incremental session ≡ run_stream, including across a state round-trip."""
+
+    def _device(self):
+        return ConstantLatencyDevice(SATA_600, read_us=80.0, write_us=120.0)
+
+    def test_session_matches_run_stream(self, old_trace):
+        tracker = TraceTracker()
+        oracle = tracker.reconstruct_stream(chunked(old_trace, 64), self._device())
+        session = tracker.stream_session(self._device())
+        pieces = [
+            p for p in (session.feed(c) for c in chunked(old_trace, 64)) if p is not None
+        ]
+        tail = session.finish()
+        if tail is not None:
+            pieces.append(tail)
+        got = pieces[0].concat_all(pieces)
+        np.testing.assert_array_equal(got.timestamps, oracle.trace.timestamps)
+        np.testing.assert_array_equal(got.lbas, oracle.trace.lbas)
+        assert session.metrics() == oracle.metrics
+
+    @pytest.mark.parametrize("cut", [1, 3, 7])
+    def test_state_roundtrip_is_bit_identical(self, old_trace, cut):
+        """SIGKILL-at-a-chunk-boundary simulated via state_dict/load_state."""
+        import json
+
+        tracker = TraceTracker()
+        oracle = tracker.reconstruct_stream(chunked(old_trace, 40), self._device())
+
+        first = tracker.stream_session(self._device())
+        pieces = []
+        chunks = list(chunked(old_trace, 40))
+        for chunk in chunks[:cut]:
+            piece = first.feed(chunk)
+            if piece is not None:
+                pieces.append(piece)
+        # serialise through JSON exactly like the daemon's checkpoint
+        state = json.loads(json.dumps(first.state_dict()))
+
+        second = tracker.stream_session(self._device())  # fresh device: cold replay
+        second.load_state(state)
+        for chunk in chunks[cut:]:
+            piece = second.feed(chunk)
+            if piece is not None:
+                pieces.append(piece)
+        tail = second.finish()
+        if tail is not None:
+            pieces.append(tail)
+        got = pieces[0].concat_all(pieces)
+        np.testing.assert_array_equal(got.timestamps, oracle.trace.timestamps)
+        np.testing.assert_array_equal(got.issues, oracle.trace.issues)
+        assert second.metrics() == oracle.metrics
+
+    def test_failed_feed_leaves_state_retryable(self, old_trace):
+        tracker = TraceTracker()
+        session = tracker.stream_session(self._device())
+        chunks = list(chunked(old_trace, 64))
+        session.feed(chunks[0])
+        before = session.state_dict()
+        bad = chunks[1].shifted(-10**9)  # overlaps the carried boundary
+        with pytest.raises(ValueError):
+            session.feed(bad)
+        assert session.state_dict() == before  # untouched, retryable
+        session.feed(chunks[1])  # the good chunk still lands
+
+    def test_single_request_stream_finish(self, tiny_trace):
+        tracker = TraceTracker()
+        session = tracker.stream_session(self._device())
+        assert session.feed(tiny_trace.select(slice(0, 1))) is None
+        piece = session.finish()
+        assert piece is not None and len(piece) == 1
+        assert session.metrics().n_requests == 1
+
+    def test_empty_session_metrics_raises(self):
+        session = TraceTracker().stream_session(self._device())
+        with pytest.raises(ValueError, match="empty stream"):
+            session.metrics()

@@ -1,0 +1,74 @@
+"""Stream checkpoints: round-trip, atomicity, and corrupt-file handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import StreamCheckpoint, load_checkpoint, save_checkpoint
+
+
+def sample() -> StreamCheckpoint:
+    return StreamCheckpoint(
+        source_cursor=["seg-001.csv", 4096],
+        session_state={"version": 1, "carry": None},
+        sink_bytes=1234,
+        quarantine_bytes=56,
+        header="timestamp_us,lba,size_sectors,op",
+        rebase_offset=None,
+        last_old_ts=99.5,
+        rows_consumed=300,
+        rows_out=298,
+        n_quarantined=2,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(path, sample())
+        got = load_checkpoint(path)
+        assert got == sample()
+
+    def test_float_exactness(self, tmp_path):
+        """JSON repr round-trips binary64 exactly — resume bit-identity."""
+        value = 0.1 + 0.2  # not representable prettily
+        cp = sample()
+        cp.last_old_ts = value
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(path, cp)
+        assert load_checkpoint(path).last_old_ts == value
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(path, sample())
+        second = sample()
+        second.rows_consumed = 600
+        save_checkpoint(path, second)
+        assert load_checkpoint(path).rows_consumed == 600
+        assert not path.with_name(path.name + ".tmp").exists()
+
+
+class TestDegradedLoads:
+    def test_missing_returns_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.json") is None
+
+    def test_corrupt_preserved_aside(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text("{ torn garb")
+        assert load_checkpoint(path) is None
+        assert not path.exists()
+        assert path.with_name("checkpoint.json.corrupt").read_text() == "{ torn garb"
+
+    def test_unknown_version_treated_as_corrupt(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        doc = sample().to_dict()
+        doc["version"] = 999
+        path.write_text(json.dumps(doc))
+        assert load_checkpoint(path) is None
+        assert path.with_name("checkpoint.json.corrupt").exists()
+
+    def test_version_guard_in_from_dict(self):
+        with pytest.raises(ValueError, match="version"):
+            StreamCheckpoint.from_dict({"version": 2})
